@@ -1,0 +1,161 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "csf/csf_mttkrp.hpp"
+#include "csf/csf_one_mttkrp.hpp"
+#include "dtree/dtree_engine.hpp"
+#include "model/tuner.hpp"
+#include "mttkrp/blocked_coo.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "mttkrp/ttv_chain.hpp"
+
+namespace mdcp::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("MDCP_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+std::vector<Dataset> standard_datasets() {
+  const double s = bench_scale();
+  const auto n = [&](double base) { return static_cast<nnz_t>(base * s); };
+  std::vector<Dataset> ds;
+  ds.push_back({"tags4d",
+                generate_zipf({800, 40000, 200000, 60000}, n(300000), 1.1, 101)});
+  ds.push_back({"kb3d",
+                generate_zipf({200000, 100, 80000}, n(250000), 1.2, 102)});
+  ds.push_back({"ratings3d",
+                generate_uniform({150000, 6000, 700}, n(300000), 103)});
+  ds.push_back({"ehr5d",
+                generate_clustered({20000, 4000, 3000, 500, 100}, n(250000),
+                                   {.clusters = 256, .spread = 6.0}, 104)});
+  ds.push_back({"uniform4d",
+                generate_uniform({30000, 30000, 30000, 30000}, n(200000), 105)});
+  ds.push_back({"clustered6d",
+                generate_clustered({8000, 8000, 8000, 8000, 8000, 8000},
+                                   n(200000), {.clusters = 128, .spread = 4.0},
+                                   106)});
+  return ds;
+}
+
+std::vector<EngineColumn> engine_columns(bool include_ttv_chain) {
+  std::vector<EngineColumn> cols;
+  cols.push_back({"coo", [](const CooTensor& t, index_t) {
+                    return std::make_unique<CooMttkrpEngine>(t);
+                  }});
+  cols.push_back({"bcoo", [](const CooTensor& t, index_t) {
+                    return std::make_unique<BlockedCooEngine>(t);
+                  }});
+  if (include_ttv_chain) {
+    cols.push_back({"ttv-chain", [](const CooTensor& t, index_t) {
+                      return std::make_unique<TtvChainEngine>(t);
+                    }});
+  }
+  cols.push_back({"csf", [](const CooTensor& t, index_t) {
+                    return std::make_unique<CsfMttkrpEngine>(t);
+                  }});
+  cols.push_back({"csf1", [](const CooTensor& t, index_t) {
+                    return std::make_unique<CsfOneMttkrpEngine>(t);
+                  }});
+  cols.push_back({"dtree-flat", [](const CooTensor& t, index_t) {
+                    return make_dtree_flat(t);
+                  }});
+  cols.push_back({"dtree-3lvl", [](const CooTensor& t, index_t) {
+                    return make_dtree_three_level(t);
+                  }});
+  cols.push_back({"dtree-bdt", [](const CooTensor& t, index_t) {
+                    return make_dtree_bdt(t);
+                  }});
+  cols.push_back({"auto", [](const CooTensor& t, index_t rank) {
+                    return make_auto_engine(t, rank);
+                  }});
+  return cols;
+}
+
+double time_mttkrp_sweep(MttkrpEngine& engine, const CooTensor& tensor,
+                         const std::vector<Matrix>& factors, int reps) {
+  Matrix out;
+  // Warm-up sweep (first touch of memoized structures).
+  engine.invalidate_all();
+  for (mode_t m = 0; m < tensor.order(); ++m) {
+    engine.compute(m, factors, out);
+    engine.factor_updated(m);
+  }
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer t;
+    for (mode_t m = 0; m < tensor.order(); ++m) {
+      engine.compute(m, factors, out);
+      engine.factor_updated(m);
+    }
+    times.push_back(t.seconds());
+  }
+  return *std::min_element(times.begin(), times.end());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int width)
+    : headers_(std::move(headers)), width_(width) {}
+
+void TablePrinter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void TablePrinter::print() const {
+  const auto cell = [&](const std::string& s) {
+    std::printf("%-*s", width_, s.c_str());
+  };
+  for (const auto& h : headers_) cell(h);
+  std::printf("\n");
+  for (std::size_t i = 0; i < headers_.size() * static_cast<std::size_t>(width_);
+       ++i)
+    std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (const auto& c : row) cell(c);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  if (s < 1e-3) {
+    os.precision(3);
+    os << s * 1e6 << "us";
+  } else if (s < 1.0) {
+    os.precision(4);
+    os << s * 1e3 << "ms";
+  } else {
+    os.precision(4);
+    os << s << "s";
+  }
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream os;
+  os.precision(3);
+  os << r << "x";
+  return os.str();
+}
+
+std::string fmt_bytes(std::size_t b) {
+  std::ostringstream os;
+  os.precision(4);
+  if (b < (1u << 20)) {
+    os << static_cast<double>(b) / 1024.0 << "KiB";
+  } else if (b < (1u << 30)) {
+    os << static_cast<double>(b) / (1024.0 * 1024.0) << "MiB";
+  } else {
+    os << static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0) << "GiB";
+  }
+  return os.str();
+}
+
+}  // namespace mdcp::bench

@@ -1,0 +1,69 @@
+// Shared infrastructure for the experiment benchmarks.
+//
+// Each bench binary regenerates one experiment of EXPERIMENTS.md. The suite
+// runs on a standard battery of synthetic datasets (see DESIGN.md §4 for the
+// substitution rationale) whose shapes/structures mirror the regimes of the
+// sparse-CP literature's real datasets:
+//
+//   tags4d      — 4-mode Zipf (Delicious/Flickr-like tagging data)
+//   kb3d        — 3-mode Zipf, one short mode (NELL-like knowledge base)
+//   ratings3d   — 3-mode uniform with one long mode (Netflix-like)
+//   ehr5d       — 5-mode clustered (CHOA-like EHR phenotyping data)
+//   uniform4d   — 4-mode uniform (worst case: no index overlap)
+//   clustered6d — 6-mode clustered (higher-order, strong overlap)
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mdcp.hpp"
+
+namespace mdcp::bench {
+
+struct Dataset {
+  std::string name;
+  CooTensor tensor;
+};
+
+/// Scale factor for dataset sizes (override with MDCP_BENCH_SCALE env var;
+/// 1.0 ≈ a minute-scale full suite on one core).
+double bench_scale();
+
+/// The standard dataset battery (sizes multiplied by bench_scale()).
+std::vector<Dataset> standard_datasets();
+
+/// One engine instance per benchmark column, in canonical table order.
+struct EngineColumn {
+  std::string label;
+  std::function<std::unique_ptr<MttkrpEngine>(const CooTensor&, index_t rank)>
+      make;
+};
+std::vector<EngineColumn> engine_columns(bool include_ttv_chain = false);
+
+/// Minimum wall-time (seconds) over `reps` full MTTKRP sweeps (all N modes)
+/// with the CP-ALS invalidation schedule (factor_updated after each mode).
+/// Minimum, not median: on a shared host the minimum is the least-noisy
+/// estimator of the kernel's intrinsic cost.
+double time_mttkrp_sweep(MttkrpEngine& engine, const CooTensor& tensor,
+                         const std::vector<Matrix>& factors, int reps = 5);
+
+/// Markdown-ish table printer: fixed-width columns, header + rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14);
+  void add_row(const std::vector<std::string>& cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+std::string fmt_seconds(double s);
+std::string fmt_ratio(double r);
+std::string fmt_bytes(std::size_t b);
+
+}  // namespace mdcp::bench

@@ -1,0 +1,112 @@
+// Microbenchmarks of the individual hot kernels (google-benchmark).
+//
+// These are not tied to one paper figure; they are the regression guard for
+// the primitives every experiment depends on: Gram products, the CSF
+// traversal, the dimension-tree numeric TTMV, and the COO kernel.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace mdcp;
+
+const CooTensor& shared_tensor() {
+  static const CooTensor t =
+      generate_zipf({500, 20000, 80000, 30000}, 120000, 1.1, 301);
+  return t;
+}
+
+std::vector<Matrix> shared_factors(index_t rank) {
+  Rng rng(302);
+  std::vector<Matrix> f;
+  for (mdcp::mode_t m = 0; m < shared_tensor().order(); ++m)
+    f.push_back(Matrix::random_uniform(shared_tensor().dim(m), rank, rng));
+  return f;
+}
+
+void BM_Gram(benchmark::State& state) {
+  set_num_threads(1);
+  Rng rng(303);
+  const Matrix a =
+      Matrix::random_normal(static_cast<index_t>(state.range(0)), 16, rng);
+  Matrix out;
+  for (auto _ : state) {
+    gram(a, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 16 * 16 / 2);
+}
+BENCHMARK(BM_Gram)->Arg(10000)->Arg(100000);
+
+void BM_CooMttkrp(benchmark::State& state) {
+  set_num_threads(1);
+  const auto rank = static_cast<index_t>(state.range(0));
+  const auto factors = shared_factors(rank);
+  CooMttkrpEngine engine(shared_tensor());
+  Matrix out;
+  for (auto _ : state) {
+    engine.compute(1, factors, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shared_tensor().nnz());
+}
+BENCHMARK(BM_CooMttkrp)->Arg(8)->Arg(32);
+
+void BM_CsfMttkrp(benchmark::State& state) {
+  set_num_threads(1);
+  const auto rank = static_cast<index_t>(state.range(0));
+  const auto factors = shared_factors(rank);
+  CsfMttkrpEngine engine(shared_tensor());
+  Matrix out;
+  for (auto _ : state) {
+    engine.compute(1, factors, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shared_tensor().nnz());
+}
+BENCHMARK(BM_CsfMttkrp)->Arg(8)->Arg(32);
+
+void BM_DTreeSweep(benchmark::State& state) {
+  set_num_threads(1);
+  const auto rank = static_cast<index_t>(state.range(0));
+  const auto factors = shared_factors(rank);
+  auto engine = make_dtree_bdt(shared_tensor());
+  Matrix out;
+  for (auto _ : state) {
+    for (mdcp::mode_t m = 0; m < shared_tensor().order(); ++m) {
+      engine->compute(m, factors, out);
+      engine->factor_updated(m);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shared_tensor().nnz() *
+                          shared_tensor().order());
+}
+BENCHMARK(BM_DTreeSweep)->Arg(8)->Arg(32);
+
+void BM_SymbolicBuild(benchmark::State& state) {
+  set_num_threads(1);
+  std::vector<mdcp::mode_t> order(shared_tensor().order());
+  for (mdcp::mode_t m = 0; m < shared_tensor().order(); ++m) order[m] = m;
+  const auto spec = TreeSpec::bdt(order);
+  for (auto _ : state) {
+    DimensionTree tree(shared_tensor(), spec);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_SymbolicBuild);
+
+void BM_TunerSelect(benchmark::State& state) {
+  set_num_threads(1);
+  for (auto _ : state) {
+    const auto report = select_strategy(shared_tensor(), 16);
+    benchmark::DoNotOptimize(report.chosen);
+  }
+}
+BENCHMARK(BM_TunerSelect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Experiment F5 — memory overhead of the memoized schemes.
+//
+// For every dataset: the input COO footprint, the CSF baseline's footprint
+// (one tree per mode), and for each dimension-tree variant the persistent
+// symbolic index memory plus the peak live value-matrix memory observed
+// during a full CP-ALS-style sweep. The paper family's claim: the BDT costs
+// at most ~⌈log N⌉ live intermediates and its index arrays shrink towards
+// the leaves with index overlap, so total overhead stays a small multiple
+// of the input.
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+std::size_t coo_bytes(const mdcp::CooTensor& t) {
+  return t.nnz() * (t.order() * sizeof(mdcp::index_t) + sizeof(mdcp::real_t));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mdcp;
+  using namespace mdcp::bench;
+
+  set_num_threads(1);
+  const index_t rank = 16;
+  Rng rng(19);
+
+  std::printf("== F5: memory footprint (R=%u); ratios are vs input COO ==\n\n",
+              rank);
+  TablePrinter table({"dataset", "coo-input", "csf", "flat-peak", "3lvl-peak",
+                      "bdt-peak", "bdt/input"},
+                     14);
+
+  for (const auto& ds : standard_datasets()) {
+    const std::size_t input = coo_bytes(ds.tensor);
+    std::vector<Matrix> factors;
+    for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
+      factors.push_back(Matrix::random_uniform(ds.tensor.dim(m), rank, rng));
+
+    CsfMttkrpEngine csf(ds.tensor);
+
+    const auto peak_of = [&](std::unique_ptr<DTreeMttkrpEngine> engine) {
+      Matrix out;
+      for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m) {
+        engine->compute(m, factors, out);
+        engine->factor_updated(m);
+      }
+      return engine->peak_memory_bytes();
+    };
+    const std::size_t flat_peak = peak_of(make_dtree_flat(ds.tensor));
+    const std::size_t lvl3_peak = peak_of(make_dtree_three_level(ds.tensor));
+    const std::size_t bdt_peak = peak_of(make_dtree_bdt(ds.tensor));
+
+    table.add_row({ds.name, fmt_bytes(input), fmt_bytes(csf.memory_bytes()),
+                   fmt_bytes(flat_peak), fmt_bytes(lvl3_peak),
+                   fmt_bytes(bdt_peak),
+                   fmt_ratio(static_cast<double>(bdt_peak) /
+                             static_cast<double>(input))});
+  }
+  table.print();
+  std::printf("(peaks include persistent symbolic index arrays + the largest\n"
+              " set of simultaneously live memoized value matrices)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment F6 — model prediction accuracy (the "model-driven" claim).
+//
+// For every dataset, every candidate strategy is (a) predicted by the
+// analytic cost model and (b) actually measured. We report:
+//   * the measured time of the strategy the model picked,
+//   * the measured time of the true best strategy,
+//   * the resulting "regret" ratio (1.0 = model picked the winner), and
+//   * the Spearman rank correlation between predicted and measured times.
+// The paper family's claim is near-zero regret at a tiny fraction of the
+// cost of exhaustive autotuning.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  const auto ranks = [&](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+      r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  double d2 = 0;
+  for (std::size_t i = 0; i < n; ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (static_cast<double>(n) *
+                           (static_cast<double>(n) * n - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mdcp;
+  using namespace mdcp::bench;
+
+  set_num_threads(1);
+  const index_t rank = 16;
+  Rng rng(23);
+
+  std::printf("== F6: cost-model accuracy (R=%u, 1 thread) ==\n\n", rank);
+  const auto params = calibrate_cost_model(rank);
+  std::printf("calibrated: %.3g s/flop, %.3g s/byte\n\n",
+              params.seconds_per_flop, params.seconds_per_byte);
+
+  TablePrinter table({"dataset", "#strat", "picked", "picked-t", "best-t",
+                      "regret", "probed-regret", "spearman"},
+                     13);
+
+  for (const auto& ds : standard_datasets()) {
+    const auto report = select_strategy(ds.tensor, rank, 0, params);
+
+    std::vector<Matrix> factors;
+    for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
+      factors.push_back(Matrix::random_uniform(ds.tensor.dim(m), rank, rng));
+
+    std::vector<double> predicted, measured;
+    double picked_time = 0, best_time = 1e300;
+    for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+      const auto& rs = report.ranked[i];
+      DTreeMttkrpEngine engine(ds.tensor, rs.strategy.spec, rs.strategy.name);
+      const double t = time_mttkrp_sweep(engine, ds.tensor, factors, 2);
+      predicted.push_back(rs.prediction.seconds_per_iteration);
+      measured.push_back(t);
+      if (i == report.chosen) picked_time = t;
+      best_time = std::min(best_time, t);
+    }
+
+    // Hybrid model+probe selection (F6b): shortlist 3, measure, re-pick.
+    const auto probed = select_strategy_probed(ds.tensor, rank, 0, params, 3);
+    const double probed_time = measured[probed.chosen];
+
+    table.add_row({ds.name, std::to_string(report.ranked.size()),
+                   report.winner().strategy.name, fmt_seconds(picked_time),
+                   fmt_seconds(best_time),
+                   fmt_ratio(picked_time / best_time),
+                   fmt_ratio(probed_time / best_time),
+                   fmt_ratio(spearman(predicted, measured))});
+  }
+  table.print();
+  std::printf("(regret 1.0x = the model picked the measured-fastest strategy)\n");
+  return 0;
+}

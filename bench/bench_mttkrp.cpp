@@ -1,0 +1,53 @@
+// Experiment F1 — per-dataset MTTKRP sweep time and speedup over the
+// SPLATT-style CSF baseline, sequential (1 thread), R = 16.
+//
+// This is the paper family's headline figure: memoized dimension-tree
+// MTTKRP vs the state-of-the-art per-mode CSF kernel. Expected shape:
+//   * dtree-bdt ≥ csf on 3-mode tensors (little to memoize),
+//   * the gap widens with order and with index overlap (clustered/zipf),
+//   * `auto` tracks the best tree variant without being told which.
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace mdcp;
+  using namespace mdcp::bench;
+
+  set_num_threads(1);
+  const index_t rank = 16;
+  Rng rng(7);
+
+  std::printf(
+      "== F1: MTTKRP sweep time (R=%u, 1 thread); speedup vs csf ==\n\n",
+      rank);
+  const auto cols = engine_columns();
+  std::vector<std::string> headers{"dataset"};
+  for (const auto& c : cols) headers.push_back(c.label);
+  TablePrinter table(headers, 15);
+
+  for (const auto& ds : standard_datasets()) {
+    std::vector<Matrix> factors;
+    for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
+      factors.push_back(Matrix::random_uniform(ds.tensor.dim(m), rank, rng));
+
+    std::vector<double> times;
+    for (const auto& col : cols) {
+      const auto engine = col.make(ds.tensor, rank);
+      times.push_back(time_mttkrp_sweep(*engine, ds.tensor, factors));
+    }
+    double csf_time = 0;
+    for (std::size_t c = 0; c < cols.size(); ++c)
+      if (cols[c].label == "csf") csf_time = times[c];
+    std::vector<std::string> cells{ds.name};
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      std::string cell = fmt_seconds(times[c]);
+      if (cols[c].label != "csf" && csf_time > 0)
+        cell += " (" + fmt_ratio(csf_time / times[c]) + ")";
+      cells.push_back(cell);
+    }
+    table.add_row(cells);
+  }
+  table.print();
+  std::printf("(parenthesized: speedup of the column over csf; >1 is faster)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Experiment F3 — speedup vs tensor order.
+//
+// Synthetic tensors of order N = 3..8 with (approximately) fixed nnz and
+// total index space. The baseline's per-iteration work grows ~N² while the
+// BDT's grows ~N·log N, so the dtree-bdt/csf speedup must grow with N —
+// this is the central scaling claim of the higher-order memoization papers.
+// The flat and 3-level trees are included as the ablation axis (no
+// memoization / one-level memoization).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace mdcp;
+  using namespace mdcp::bench;
+
+  set_num_threads(1);
+  const index_t rank = 16;
+  const auto nnz = static_cast<nnz_t>(150000 * bench_scale());
+  Rng rng(11);
+
+  std::printf(
+      "== F3: MTTKRP sweep time vs order (R=%u, nnz~%llu, 1 thread) ==\n\n",
+      rank, static_cast<unsigned long long>(nnz));
+  const auto cols = engine_columns();
+  std::vector<std::string> headers{"order"};
+  for (const auto& col : cols) {
+    if (col.label != "auto") headers.push_back(col.label);
+  }
+  headers.push_back("bdt/csf");
+  TablePrinter table(headers, 13);
+
+  for (mdcp::mode_t order = 3; order <= 8; ++order) {
+    // Keep the total index space roughly constant across orders.
+    const auto dim = static_cast<index_t>(
+        std::pow(1e12, 1.0 / static_cast<double>(order)));
+    shape_t shape(order, dim);
+    const auto t = generate_zipf(shape, nnz, 1.1, 200 + order);
+
+    std::vector<Matrix> factors;
+    for (mdcp::mode_t m = 0; m < order; ++m)
+      factors.push_back(Matrix::random_uniform(t.dim(m), rank, rng));
+
+    std::vector<std::string> cells{std::to_string(order)};
+    double csf_time = 0, bdt_time = 0;
+    for (const auto& col : cols) {
+      if (col.label == "auto") continue;
+      const auto engine = col.make(t, rank);
+      const double secs = time_mttkrp_sweep(*engine, t, factors);
+      if (col.label == "csf") csf_time = secs;
+      if (col.label == "dtree-bdt") bdt_time = secs;
+      cells.push_back(fmt_seconds(secs));
+    }
+    cells.push_back(fmt_ratio(csf_time / bdt_time));
+    table.add_row(cells);
+  }
+  table.print();
+  std::printf("(bdt/csf: speedup of the full dimension tree over the\n"
+              " SPLATT-style baseline — expected to grow with the order)\n");
+  return 0;
+}

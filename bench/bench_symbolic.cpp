@@ -1,0 +1,56 @@
+// Experiment T2 — one-time preprocessing cost vs per-iteration payoff.
+//
+// The memoized engines pay an up-front symbolic cost (sorting/deduplicating
+// every tree node's projections; building CSFs; running the tuner). The
+// literature's argument is that this is amortized within a few CP-ALS
+// iterations — and entirely across the multiple runs of a rank search or
+// restart sweep, which reuse one engine. This table reports, per dataset:
+// setup seconds per engine, per-iteration sweep seconds, and the break-even
+// iteration count vs the cheapest-setup engine (coo).
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace mdcp;
+  using namespace mdcp::bench;
+
+  set_num_threads(1);
+  const index_t rank = 16;
+  Rng rng(29);
+
+  std::printf("== T2: preprocessing (setup) cost vs per-iteration gain ==\n\n");
+
+  for (const auto& ds : standard_datasets()) {
+    std::vector<Matrix> factors;
+    for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
+      factors.push_back(Matrix::random_uniform(ds.tensor.dim(m), rank, rng));
+
+    TablePrinter table({"engine", "setup", "per-iter", "break-even-iters"},
+                       18);
+    double coo_iter = 0;
+    double coo_setup = 0;
+    for (const auto& col : engine_columns()) {
+      WallTimer setup_timer;
+      const auto engine = col.make(ds.tensor, rank);
+      const double setup = setup_timer.seconds();
+      const double iter = time_mttkrp_sweep(*engine, ds.tensor, factors, 2);
+      if (col.label == "coo") {
+        coo_iter = iter;
+        coo_setup = setup;
+      }
+      std::string breakeven = "-";
+      if (col.label != "coo" && iter < coo_iter) {
+        breakeven = std::to_string(static_cast<long>(
+            (setup - coo_setup) / (coo_iter - iter) + 1));
+      }
+      table.add_row({col.label, fmt_seconds(setup), fmt_seconds(iter),
+                     breakeven});
+    }
+    std::printf("dataset: %s (%s)\n", ds.name.c_str(),
+                ds.tensor.summary().c_str());
+    table.print();
+  }
+  std::printf("(break-even: iterations after which the engine's total time\n"
+              " drops below coo's, accounting for its extra setup cost)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Experiment F2 — shared-memory thread scaling of the MTTKRP engines.
+//
+// NOTE: this container exposes a single physical core, so thread counts > 1
+// are oversubscribed — the numbers demonstrate that the parallel code paths
+// run correctly at any thread count, but real multi-core speedups cannot be
+// observed here (documented in EXPERIMENTS.md). On real hardware the kernels
+// are atomics-free data-parallel loops and scale like SPLATT's.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace mdcp;
+  using namespace mdcp::bench;
+
+  const index_t rank = 16;
+  Rng rng(17);
+  const auto tensor =
+      generate_zipf({800, 40000, 200000, 60000},
+                    static_cast<nnz_t>(250000 * bench_scale()), 1.1, 101);
+  std::vector<Matrix> factors;
+  for (mdcp::mode_t m = 0; m < tensor.order(); ++m)
+    factors.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));
+
+  std::printf("== F2: thread scaling on tags4d (R=%u) ==\n", rank);
+  std::printf("   [host has 1 physical core: >1 thread is oversubscribed]\n\n");
+
+  TablePrinter table({"threads", "csf", "dtree-bdt", "coo"}, 14);
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    CsfMttkrpEngine csf(tensor);
+    auto bdt = make_dtree_bdt(tensor);
+    CooMttkrpEngine coo(tensor);
+    table.add_row({std::to_string(threads),
+                   fmt_seconds(time_mttkrp_sweep(csf, tensor, factors)),
+                   fmt_seconds(time_mttkrp_sweep(*bdt, tensor, factors)),
+                   fmt_seconds(time_mttkrp_sweep(coo, tensor, factors))});
+  }
+  set_num_threads(1);
+  table.print();
+  return 0;
+}

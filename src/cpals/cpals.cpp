@@ -1,0 +1,206 @@
+#include "cpals/cpals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "csf/csf_mttkrp.hpp"
+#include "csf/csf_one_mttkrp.hpp"
+#include "dtree/dtree_engine.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "model/tuner.hpp"
+#include "mttkrp/blocked_coo.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "mttkrp/ttv_chain.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace mdcp {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCoo: return "coo";
+    case EngineKind::kBlockedCoo: return "bcoo";
+    case EngineKind::kTtvChain: return "ttv-chain";
+    case EngineKind::kCsf: return "csf";
+    case EngineKind::kCsfOne: return "csf1";
+    case EngineKind::kDTreeFlat: return "dtree-flat";
+    case EngineKind::kDTreeThreeLevel: return "dtree-3lvl";
+    case EngineKind::kDTreeBdt: return "dtree-bdt";
+    case EngineKind::kAuto: return "auto";
+    case EngineKind::kAutoProbed: return "auto+probe";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<MttkrpEngine> make_engine(const CooTensor& tensor,
+                                          EngineKind kind, index_t rank,
+                                          std::size_t memory_budget_bytes) {
+  switch (kind) {
+    case EngineKind::kCoo:
+      return std::make_unique<CooMttkrpEngine>(tensor);
+    case EngineKind::kBlockedCoo:
+      return std::make_unique<BlockedCooEngine>(tensor);
+    case EngineKind::kTtvChain:
+      return std::make_unique<TtvChainEngine>(tensor);
+    case EngineKind::kCsf:
+      return std::make_unique<CsfMttkrpEngine>(tensor);
+    case EngineKind::kCsfOne:
+      return std::make_unique<CsfOneMttkrpEngine>(tensor);
+    case EngineKind::kDTreeFlat:
+      return make_dtree_flat(tensor);
+    case EngineKind::kDTreeThreeLevel:
+      return make_dtree_three_level(tensor);
+    case EngineKind::kDTreeBdt:
+      return make_dtree_bdt(tensor);
+    case EngineKind::kAuto:
+      return make_auto_engine(tensor, rank, memory_budget_bytes);
+    case EngineKind::kAutoProbed:
+      return make_probed_engine(tensor, rank, memory_budget_bytes);
+  }
+  MDCP_CHECK_MSG(false, "unreachable engine kind");
+  return nullptr;
+}
+
+CpAlsResult cp_als(const CooTensor& tensor, const CpAlsOptions& options) {
+  const auto engine = make_engine(tensor, options.engine, options.rank,
+                                  options.memory_budget_bytes);
+  return cp_als(tensor, *engine, options);
+}
+
+CpAlsResult cp_als_best_of(const CooTensor& tensor,
+                           const CpAlsOptions& options, int num_starts) {
+  MDCP_CHECK_MSG(num_starts > 0, "need at least one start");
+  const auto engine = make_engine(tensor, options.engine, options.rank,
+                                  options.memory_budget_bytes);
+  CpAlsResult best;
+  for (int s = 0; s < num_starts; ++s) {
+    CpAlsOptions opt = options;
+    opt.seed = splitmix64(options.seed + static_cast<std::uint64_t>(s));
+    CpAlsResult run = cp_als(tensor, *engine, opt);
+    if (s == 0 || run.final_fit() > best.final_fit()) best = std::move(run);
+  }
+  return best;
+}
+
+CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
+                   const CpAlsOptions& options) {
+  MDCP_CHECK_MSG(options.rank > 0, "rank must be positive");
+  MDCP_CHECK_MSG(options.max_iterations > 0, "need at least one iteration");
+  const mode_t order = tensor.order();
+  const index_t rank = options.rank;
+
+  engine.invalidate_all();
+
+  CpAlsResult result;
+  result.engine_name = engine.name();
+
+  WallTimer total_timer;
+  PhaseTimer mttkrp_t, dense_t, fit_t;
+
+  // Initialize factors Uniform(0,1) and precompute Gram matrices.
+  Rng rng(options.seed);
+  std::vector<Matrix> factors;
+  factors.reserve(order);
+  for (mode_t m = 0; m < order; ++m)
+    factors.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));
+
+  std::vector<Matrix> grams(order);
+  for (mode_t m = 0; m < order; ++m) gram(factors[m], grams[m]);
+
+  const real_t x_norm = tensor.norm();
+  std::vector<real_t> lambda(rank, 1);
+  Matrix mttkrp_out;
+  Matrix h;
+  real_t prev_fit = 0;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    for (mode_t n = 0; n < order; ++n) {
+      mttkrp_t.start();
+      engine.compute(n, factors, mttkrp_out);
+      mttkrp_t.stop();
+
+      dense_t.start();
+      // H^(n) = ∘_{i≠n} Gram_i.
+      h.resize(rank, rank, 1);
+      for (mode_t i = 0; i < order; ++i) {
+        if (i != n) hadamard_inplace(h, grams[i]);
+      }
+      if (options.ridge > 0) {
+        for (index_t d = 0; d < rank; ++d) h(d, d) += options.ridge;
+      }
+      factors[n] = solve_normal_equations(h, mttkrp_out);
+      if (options.nonnegative) {
+        // Projected ALS: negative entries are infeasible for count data.
+        real_t* data = factors[n].data();
+        for (std::size_t e = 0; e < factors[n].size(); ++e)
+          if (data[e] < 0) data[e] = 0;
+      }
+      lambda = column_normalize(factors[n]);
+      // Columns that collapsed to zero would poison H; re-randomize them.
+      for (index_t r = 0; r < rank; ++r) {
+        if (lambda[r] == 0) {
+          for (index_t i = 0; i < factors[n].rows(); ++i)
+            factors[n](i, r) = rng.next_real();
+          auto norms = column_normalize(factors[n]);
+          (void)norms;
+        }
+      }
+      gram(factors[n], grams[n]);
+      dense_t.stop();
+
+      engine.factor_updated(n);
+    }
+
+    // Fit from the last sub-iteration's MTTKRP (mode order-1): M^(n) does not
+    // depend on U^(n), so it is still consistent with the updated factor.
+    // ⟨X,M⟩ = Σ_r λ_r Σ_i U(i,r)·M(i,r); ‖M‖² = λᵀ(∘_n Gram_n)λ — both from
+    // state already in hand, no factor copies.
+    fit_t.start();
+    real_t inner = 0;
+    {
+      const auto& u = factors[order - 1];
+      for (index_t i = 0; i < u.rows(); ++i) {
+        const auto urow = u.row(i);
+        const auto mrow = mttkrp_out.row(i);
+        for (index_t r = 0; r < rank; ++r)
+          inner += lambda[r] * urow[r] * mrow[r];
+      }
+    }
+    real_t m_norm_sq = 0;
+    {
+      Matrix acc(rank, rank, 1);
+      for (mode_t i = 0; i < order; ++i) hadamard_inplace(acc, grams[i]);
+      for (index_t r = 0; r < rank; ++r)
+        for (index_t q = 0; q < rank; ++q)
+          m_norm_sq += lambda[r] * lambda[q] * acc(r, q);
+    }
+    const real_t m_norm = std::sqrt(std::max<real_t>(m_norm_sq, 0));
+    const real_t fit = fit_from_parts(x_norm, inner, m_norm);
+    fit_t.stop();
+
+    result.fits.push_back(fit);
+    result.iterations = it + 1;
+    if (options.verbose) {
+      std::printf("[cp-als %s] iter %3d fit %.6f\n", engine.name().c_str(),
+                  it + 1, static_cast<double>(fit));
+    }
+    if (it > 0 && std::abs(fit - prev_fit) < options.tolerance) {
+      result.converged = true;
+      prev_fit = fit;
+      break;
+    }
+    prev_fit = fit;
+  }
+
+  result.model.weights = std::move(lambda);
+  result.model.factors = std::move(factors);
+  result.mttkrp_seconds = mttkrp_t.total_seconds();
+  result.dense_seconds = dense_t.total_seconds();
+  result.fit_seconds = fit_t.total_seconds();
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace mdcp

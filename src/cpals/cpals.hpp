@@ -1,0 +1,95 @@
+// CP-ALS: alternating least squares for sparse CP decomposition, with a
+// pluggable MTTKRP engine.
+//
+// The driver implements the standard ALS sweep: for each mode n, compute the
+// MTTKRP M^(n), form H^(n) = ∘_{i≠n} U^(i)ᵀU^(i), solve U^(n) = M^(n)·H⁺,
+// column-normalize into λ, refresh the Gram matrix, and notify the engine
+// that U^(n) changed. Convergence is monitored with the O(I·R) fit identity
+// — the dense reconstruction is never formed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpals/kruskal.hpp"
+#include "mttkrp/engine.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+/// Selectable MTTKRP computation strategies.
+enum class EngineKind {
+  kCoo,             ///< direct COO kernel (no factoring, no memoization)
+  kBlockedCoo,      ///< HiCOO-style blocked COO (8-bit local offsets)
+  kTtvChain,        ///< column-at-a-time TTV chains (Tensor-Toolbox style)
+  kCsf,             ///< SPLATT-style CSF, one tree per mode (state of the art)
+  kCsfOne,          ///< SPLATT-style CSF, single tree (memory-efficient)
+  kDTreeFlat,       ///< dimension tree, root→leaves (index-compressed only)
+  kDTreeThreeLevel, ///< dimension tree, one intermediate level (Phan-style)
+  kDTreeBdt,        ///< full balanced binary dimension tree
+  kAuto,            ///< model-driven: predict & pick the best strategy
+  kAutoProbed,      ///< model shortlist + one measured sweep per candidate
+};
+
+const char* engine_kind_name(EngineKind kind);
+
+/// Constructs an engine of the requested kind. `rank` and
+/// `memory_budget_bytes` are consulted only by kAuto (the model needs the
+/// rank to predict costs; 0 budget = unlimited). The tensor must outlive the
+/// engine.
+std::unique_ptr<MttkrpEngine> make_engine(const CooTensor& tensor,
+                                          EngineKind kind, index_t rank = 16,
+                                          std::size_t memory_budget_bytes = 0);
+
+struct CpAlsOptions {
+  index_t rank = 16;
+  int max_iterations = 50;
+  real_t tolerance = 1e-5;   ///< stop when |fit − prev_fit| < tolerance
+  /// Tikhonov/ridge term added to the normal-equations diagonal
+  /// (H + ridge·I). Stabilizes ill-conditioned updates when components
+  /// become collinear; 0 disables.
+  real_t ridge = 0;
+  std::uint64_t seed = 42;   ///< factor initialization seed
+  EngineKind engine = EngineKind::kDTreeBdt;
+  std::size_t memory_budget_bytes = 0;  ///< for kAuto; 0 = unlimited
+  /// Projected nonnegative ALS: clamp each factor update at zero before
+  /// normalization (multilinear NMF-style decompositions for count data).
+  bool nonnegative = false;
+  bool verbose = false;
+};
+
+struct CpAlsResult {
+  KruskalTensor model;
+  std::vector<real_t> fits;  ///< fit after each iteration
+  int iterations = 0;
+  bool converged = false;
+  std::string engine_name;
+
+  // Per-phase wall-clock dissection (seconds over all iterations).
+  double mttkrp_seconds = 0;
+  double dense_seconds = 0;  ///< Gram/Hadamard/solve/normalize
+  double fit_seconds = 0;
+  double total_seconds = 0;
+
+  real_t final_fit() const { return fits.empty() ? 0 : fits.back(); }
+};
+
+/// Runs CP-ALS with an engine created according to `options.engine`.
+CpAlsResult cp_als(const CooTensor& tensor, const CpAlsOptions& options);
+
+/// Runs CP-ALS with a caller-provided engine (reused across calls — the
+/// amortized-symbolic-cost usage pattern). The engine's memoized state is
+/// reset at entry.
+CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
+                   const CpAlsOptions& options);
+
+/// Multi-restart CP-ALS: runs `num_starts` times with distinct
+/// initializations derived from options.seed and returns the run with the
+/// best final fit. ALS is sensitive to initialization (local minima /
+/// swamps); restarts are the standard mitigation, and they reuse one engine
+/// so the symbolic preprocessing is paid once.
+CpAlsResult cp_als_best_of(const CooTensor& tensor,
+                           const CpAlsOptions& options, int num_starts);
+
+}  // namespace mdcp

@@ -1,0 +1,99 @@
+#include "csf/csf_mttkrp.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+namespace {
+
+// Per-thread traversal state: one length-R accumulator per CSF level.
+struct Scratch {
+  std::vector<std::vector<real_t>> acc;  // [level][r]
+  Scratch(mode_t order, index_t r)
+      : acc(order, std::vector<real_t>(r, 0)) {}
+};
+
+// Accumulates g(fiber f at level l) into s.acc[l]:
+//   g(leaf entry)  = val · U_leafmode(fid, :)
+//   g(inner fiber) = U_levelmode(fid, :) ∘ Σ_children g(child)
+void subtree(const CsfTensor& csf, const std::vector<Matrix>& factors,
+             mode_t level, nnz_t fiber, index_t r, Scratch& s) {
+  const mode_t leaf = static_cast<mode_t>(csf.order() - 1);
+  auto& acc = s.acc[level];
+  if (level == leaf) {
+    const auto row = factors[csf.mode_order()[leaf]].row(csf.fids(leaf)[fiber]);
+    const real_t v = csf.values()[fiber];
+    for (index_t k = 0; k < r; ++k) acc[k] = v * row[k];
+    return;
+  }
+  for (index_t k = 0; k < r; ++k) acc[k] = 0;
+  const auto ptr = csf.fptr(level);
+  for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
+    subtree(csf, factors, static_cast<mode_t>(level + 1), c, r, s);
+    const auto& child = s.acc[level + 1];
+    for (index_t k = 0; k < r; ++k) acc[k] += child[k];
+  }
+  const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
+  for (index_t k = 0; k < r; ++k) acc[k] *= row[k];
+}
+
+}  // namespace
+
+void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
+                     Matrix& out) {
+  MDCP_CHECK_MSG(factors.size() == csf.order(), "one factor per mode required");
+  const index_t r = factors[0].cols();
+  const mode_t root_mode = csf.mode_order()[0];
+  out.resize(csf.shape()[root_mode], r, 0);
+
+  if (csf.order() == 1) {
+    // Degenerate: MTTKRP of a vector is the vector itself.
+    for (nnz_t f = 0; f < csf.nnz(); ++f)
+      for (index_t k = 0; k < r; ++k) out(csf.fids(0)[f], k) += csf.values()[f];
+    return;
+  }
+
+  const nnz_t num_roots = csf.num_fibers(0);
+  const auto root_ptr = csf.fptr(0);
+  const auto root_ids = csf.fids(0);
+
+#pragma omp parallel
+  {
+    Scratch s(csf.order(), r);
+#pragma omp for schedule(dynamic, 8)
+    for (std::int64_t f = 0; f < static_cast<std::int64_t>(num_roots); ++f) {
+      auto orow = out.row(root_ids[static_cast<nnz_t>(f)]);
+      for (nnz_t c = root_ptr[static_cast<nnz_t>(f)];
+           c < root_ptr[static_cast<nnz_t>(f) + 1]; ++c) {
+        subtree(csf, factors, 1, c, r, s);
+        const auto& child = s.acc[1];
+        for (index_t k = 0; k < r; ++k) orow[k] += child[k];
+      }
+    }
+  }
+}
+
+CsfMttkrpEngine::CsfMttkrpEngine(const CooTensor& tensor) {
+  csfs_.reserve(tensor.order());
+  for (mode_t m = 0; m < tensor.order(); ++m) {
+    csfs_.push_back(std::make_unique<CsfTensor>(
+        tensor, CsfTensor::default_order(tensor, m)));
+  }
+}
+
+void CsfMttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
+                              Matrix& out) {
+  MDCP_CHECK(mode < csfs_.size());
+  csf_mttkrp_root(*csfs_[mode], factors, out);
+}
+
+std::size_t CsfMttkrpEngine::memory_bytes() const {
+  std::size_t b = 0;
+  for (const auto& c : csfs_) b += c->memory_bytes();
+  return b;
+}
+
+}  // namespace mdcp

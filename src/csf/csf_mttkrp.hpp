@@ -1,0 +1,44 @@
+// SPLATT-style MTTKRP on CSF storage.
+//
+// `csf_mttkrp_root` computes the MTTKRP for the CSF's *root* mode with a
+// single bottom-up traversal: each fiber at level l contributes the Hadamard
+// product of its subtree's accumulated value with the level-l factor row,
+// applied once per fiber instead of once per nonzero (SPLATT's factoring).
+//
+// `CsfMttkrpEngine` keeps one CSF per mode (SPLATT's ALLMODE configuration)
+// so every MTTKRP is a root-mode traversal. This is the state-of-the-art
+// baseline the memoized dimension-tree engines are evaluated against: it
+// factors work *within* one mode's traversal but recomputes everything
+// *across* modes — N full traversals per CP-ALS iteration.
+#pragma once
+
+#include <memory>
+
+#include "csf/csf_tensor.hpp"
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+/// out = MTTKRP in mode csf.mode_order()[0]. out is resized to
+/// (dim(root mode) × R). Parallel over root fibers; deterministic.
+void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
+                     Matrix& out);
+
+class CsfMttkrpEngine final : public MttkrpEngine {
+ public:
+  /// Builds one CSF rooted at every mode. The tensor may be discarded after
+  /// construction (the CSFs are self-contained).
+  explicit CsfMttkrpEngine(const CooTensor& tensor);
+
+  void compute(mode_t mode, const std::vector<Matrix>& factors,
+               Matrix& out) override;
+  std::string name() const override { return "csf"; }
+  std::size_t memory_bytes() const override;
+
+  const CsfTensor& csf_for_mode(mode_t mode) const { return *csfs_[mode]; }
+
+ private:
+  std::vector<std::unique_ptr<CsfTensor>> csfs_;
+};
+
+}  // namespace mdcp

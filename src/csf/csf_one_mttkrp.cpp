@@ -1,0 +1,174 @@
+#include "csf/csf_one_mttkrp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+namespace {
+
+// Per-thread traversal scratch: one suffix accumulator and one prefix
+// buffer per CSF level (avoids per-fiber allocation in the hot recursion).
+struct Scratch {
+  std::vector<std::vector<real_t>> acc;
+  std::vector<std::vector<real_t>> pre;
+  Scratch(mode_t order, index_t r)
+      : acc(order, std::vector<real_t>(r, 0)),
+        pre(order + 1, std::vector<real_t>(r, 1)) {}
+};
+
+// Bottom-up subtree sum below `fiber` at `level` (strictly below the output
+// level): returns in s.acc[level] the value
+//   Σ_{paths below} val · ∘_{k>level_out, k<=N-1, k passed} U rows
+// including this fiber's own row. Identical to the root-kernel recursion.
+void suffix_below(const CsfTensor& csf, const std::vector<Matrix>& factors,
+                  mode_t level, nnz_t fiber, index_t r, Scratch& s) {
+  const auto leaf = static_cast<mode_t>(csf.order() - 1);
+  auto& acc = s.acc[level];
+  if (level == leaf) {
+    const auto row = factors[csf.mode_order()[leaf]].row(csf.fids(leaf)[fiber]);
+    const real_t v = csf.values()[fiber];
+    for (index_t k = 0; k < r; ++k) acc[k] = v * row[k];
+    return;
+  }
+  for (index_t k = 0; k < r; ++k) acc[k] = 0;
+  const auto ptr = csf.fptr(level);
+  for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
+    suffix_below(csf, factors, static_cast<mode_t>(level + 1), c, r, s);
+    const auto& child = s.acc[level + 1];
+    for (index_t k = 0; k < r; ++k) acc[k] += child[k];
+  }
+  const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
+  for (index_t k = 0; k < r; ++k) acc[k] *= row[k];
+}
+
+// Top-down walk from `level` to the output level `out_level`, carrying the
+// running prefix product in `prefix`; at out_level, writes
+// prefix ∘ suffix(fiber) into fiber_buf(fiber, :).
+void descend(const CsfTensor& csf, const std::vector<Matrix>& factors,
+             mode_t level, nnz_t fiber, mode_t out_level, index_t r,
+             Scratch& s, Matrix& fiber_buf) {
+  const auto& prefix = s.pre[level];
+  if (level == out_level) {
+    auto out = fiber_buf.row(static_cast<index_t>(fiber));
+    if (out_level == static_cast<mode_t>(csf.order() - 1)) {
+      // Leaf output: suffix is just the nonzero value.
+      const real_t v = csf.values()[fiber];
+      for (index_t k = 0; k < r; ++k) out[k] = prefix[k] * v;
+    } else {
+      // Suffix over the subtree below, *excluding* this fiber's own factor
+      // row (the output mode's factor never participates in its MTTKRP).
+      for (index_t k = 0; k < r; ++k) out[k] = 0;
+      const auto ptr = csf.fptr(out_level);
+      for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
+        suffix_below(csf, factors, static_cast<mode_t>(out_level + 1), c, r, s);
+        const auto& child = s.acc[out_level + 1];
+        for (index_t k = 0; k < r; ++k) out[k] += child[k];
+      }
+      for (index_t k = 0; k < r; ++k) out[k] *= prefix[k];
+    }
+    return;
+  }
+  // Multiply this level's factor row into the next level's prefix buffer.
+  const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
+  auto& next = s.pre[level + 1];
+  for (index_t k = 0; k < r; ++k) next[k] = prefix[k] * row[k];
+  const auto ptr = csf.fptr(level);
+  for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c)
+    descend(csf, factors, static_cast<mode_t>(level + 1), c, out_level, r, s,
+            fiber_buf);
+}
+
+}  // namespace
+
+CsfOneMttkrpEngine::CsfOneMttkrpEngine(const CooTensor& tensor,
+                                       std::vector<mode_t> mode_order) {
+  if (mode_order.empty()) {
+    mode_order.resize(tensor.order());
+    std::iota(mode_order.begin(), mode_order.end(), mode_t{0});
+    std::stable_sort(mode_order.begin(), mode_order.end(),
+                     [&](mode_t a, mode_t b) {
+                       return tensor.dim(a) < tensor.dim(b);
+                     });
+  }
+  csf_ = std::make_unique<CsfTensor>(tensor, std::move(mode_order));
+
+  level_of_mode_.assign(tensor.order(), 0);
+  for (mode_t l = 0; l < csf_->order(); ++l)
+    level_of_mode_[csf_->mode_order()[l]] = l;
+
+  // Scatter plans: group each level's fibers by their fid so phase 2 can be
+  // parallel over output rows without write conflicts.
+  plans_.resize(csf_->order());
+  for (mode_t l = 0; l < csf_->order(); ++l) {
+    ScatterPlan& plan = plans_[l];
+    const auto fids = csf_->fids(l);
+    plan.perm.resize(fids.size());
+    std::iota(plan.perm.begin(), plan.perm.end(), nnz_t{0});
+    std::stable_sort(plan.perm.begin(), plan.perm.end(),
+                     [&](nnz_t a, nnz_t b) { return fids[a] < fids[b]; });
+    for (nnz_t i = 0; i < plan.perm.size(); ++i) {
+      const index_t row = fids[plan.perm[i]];
+      if (plan.rows.empty() || plan.rows.back() != row) {
+        plan.rows.push_back(row);
+        plan.row_start.push_back(i);
+      }
+    }
+    plan.row_start.push_back(plan.perm.size());
+  }
+}
+
+void CsfOneMttkrpEngine::compute(mode_t mode,
+                                 const std::vector<Matrix>& factors,
+                                 Matrix& out) {
+  MDCP_CHECK(mode < level_of_mode_.size());
+  const index_t r = factors[0].cols();
+  MDCP_CHECK_MSG(factors.size() == csf_->order(), "one factor per mode");
+  const auto out_level = level_of_mode_[mode];
+  const CsfTensor& csf = *csf_;
+  out.resize(csf.shape()[mode], r, 0);
+
+  // Phase 1: per-fiber contributions (parallel over root fibers; each
+  // out_level fiber belongs to exactly one root subtree — race-free).
+  fiber_buf_.resize(static_cast<index_t>(csf.num_fibers(out_level)), r, 0);
+  const nnz_t num_roots = csf.num_fibers(0);
+#pragma omp parallel
+  {
+    Scratch s(csf.order(), r);
+#pragma omp for schedule(dynamic, 8)
+    for (std::int64_t f = 0; f < static_cast<std::int64_t>(num_roots); ++f) {
+      std::fill(s.pre[0].begin(), s.pre[0].end(), real_t{1});
+      descend(csf, factors, 0, static_cast<nnz_t>(f), out_level, r, s,
+              fiber_buf_);
+    }
+  }
+
+  // Phase 2: deterministic scatter, parallel over output rows.
+  const ScatterPlan& plan = plans_[out_level];
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t g = 0; g < static_cast<std::int64_t>(plan.rows.size());
+       ++g) {
+    auto orow = out.row(plan.rows[static_cast<std::size_t>(g)]);
+    for (nnz_t p = plan.row_start[static_cast<std::size_t>(g)];
+         p < plan.row_start[static_cast<std::size_t>(g) + 1]; ++p) {
+      const auto frow = fiber_buf_.row(static_cast<index_t>(plan.perm[p]));
+      for (index_t k = 0; k < r; ++k) orow[k] += frow[k];
+    }
+  }
+}
+
+std::size_t CsfOneMttkrpEngine::memory_bytes() const {
+  std::size_t b = csf_->memory_bytes();
+  for (const auto& p : plans_) {
+    b += p.perm.size() * sizeof(nnz_t);
+    b += p.rows.size() * sizeof(index_t);
+    b += p.row_start.size() * sizeof(nnz_t);
+  }
+  b += fiber_buf_.size() * sizeof(real_t);
+  return b;
+}
+
+}  // namespace mdcp

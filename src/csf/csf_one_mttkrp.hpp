@@ -1,0 +1,55 @@
+// MTTKRP for *every* mode from a single CSF — SPLATT's memory-efficient
+// configuration (one tree total instead of one per mode).
+//
+// For an output mode sitting at CSF level ℓ, each level-ℓ fiber f
+// contributes  prefix(f) ∘ suffix(f)  to output row fid(f), where
+//   prefix(f) = ∘_{k<ℓ} U_{m_k}(ancestor-fid at level k, :)
+//   suffix(f) = Σ_{subtree below f} val · ∘_{k>ℓ} U_{m_k}(fid at level k, :)
+// (ℓ = 0 degenerates to the root kernel, ℓ = N−1 to the leaf kernel.)
+//
+// Races on output rows (several fibers can share one fid) are avoided with a
+// two-phase plan: phase 1 computes per-fiber contributions in parallel
+// (race-free — each fiber is written by exactly one root subtree); phase 2
+// scatters fibers into rows via a precomputed fiber→row grouping, parallel
+// over rows and bitwise deterministic for any thread count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "csf/csf_tensor.hpp"
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+class CsfOneMttkrpEngine final : public MttkrpEngine {
+ public:
+  /// Builds a single CSF under `mode_order` (empty = modes sorted by
+  /// increasing dimension, the SPLATT default). The tensor may be discarded
+  /// afterwards.
+  explicit CsfOneMttkrpEngine(const CooTensor& tensor,
+                              std::vector<mode_t> mode_order = {});
+
+  void compute(mode_t mode, const std::vector<Matrix>& factors,
+               Matrix& out) override;
+  std::string name() const override { return "csf1"; }
+  std::size_t memory_bytes() const override;
+
+  const CsfTensor& csf() const noexcept { return *csf_; }
+
+ private:
+  struct ScatterPlan {
+    // Fibers of one CSF level grouped by their fid: fibers perm[row_start[g]
+    // .. row_start[g+1]) all carry index rows[g].
+    std::vector<nnz_t> perm;
+    std::vector<index_t> rows;
+    std::vector<nnz_t> row_start;
+  };
+
+  std::unique_ptr<CsfTensor> csf_;
+  std::vector<mode_t> level_of_mode_;     // mode -> CSF level
+  std::vector<ScatterPlan> plans_;        // one per CSF level
+  Matrix fiber_buf_;                      // per-fiber contribution scratch
+};
+
+}  // namespace mdcp

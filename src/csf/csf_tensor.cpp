@@ -1,0 +1,103 @@
+#include "csf/csf_tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+CsfTensor::CsfTensor(const CooTensor& tensor, std::vector<mode_t> mode_order)
+    : order_(tensor.order()),
+      mode_order_(std::move(mode_order)),
+      shape_(tensor.shape()) {
+  MDCP_CHECK_MSG(mode_order_.size() == order_, "mode order arity mismatch");
+  {
+    auto sorted = mode_order_;
+    std::sort(sorted.begin(), sorted.end());
+    for (mode_t m = 0; m < order_; ++m)
+      MDCP_CHECK_MSG(sorted[m] == m, "mode order must be a permutation");
+  }
+
+  const auto perm = tensor.sorted_permutation(mode_order_);
+  const nnz_t n = tensor.nnz();
+  fids_.resize(order_);
+  fptr_.resize(order_ > 0 ? order_ - 1 : 0);
+  vals_.resize(n);
+
+  if (n == 0) return;
+
+  // Walk tuples in sorted order; a fiber opens at level l whenever any index
+  // at levels <= l differs from the previous tuple.
+  for (nnz_t p = 0; p < n; ++p) {
+    const nnz_t i = perm[p];
+    mode_t first_diff = 0;
+    if (p > 0) {
+      first_diff = static_cast<mode_t>(order_);
+      for (mode_t l = 0; l < order_; ++l) {
+        const mode_t m = mode_order_[l];
+        if (tensor.index(m, i) != tensor.index(m, perm[p - 1])) {
+          first_diff = l;
+          break;
+        }
+      }
+      MDCP_CHECK_MSG(first_diff < order_,
+                     "duplicate coordinates: tensor must be coalesced");
+    }
+    for (mode_t l = first_diff; l < order_; ++l) {
+      fids_[l].push_back(tensor.index(mode_order_[l], i));
+      if (l < order_ - 1) {
+        // Opening a fiber at level l finalizes nothing yet; record the
+        // running child count lazily via fptr after the loop. We push a
+        // placeholder start equal to the current size of level l+1.
+        fptr_[l].push_back(fids_[l + 1].size());
+      }
+    }
+    vals_[p] = tensor.value(i);
+  }
+  // Close the fptr arrays: entry f holds the start of fiber f's children;
+  // append the end sentinel.
+  for (std::size_t l = 0; l + 1 < order_; ++l) {
+    fptr_[l].push_back(fids_[l + 1].size());
+  }
+}
+
+std::size_t CsfTensor::memory_bytes() const {
+  std::size_t b = vals_.size() * sizeof(real_t);
+  for (const auto& f : fids_) b += f.size() * sizeof(index_t);
+  for (const auto& p : fptr_) b += p.size() * sizeof(nnz_t);
+  return b;
+}
+
+std::string CsfTensor::summary() const {
+  std::ostringstream os;
+  os << "csf(order=[";
+  for (std::size_t l = 0; l < order_; ++l) {
+    if (l) os << ',';
+    os << mode_order_[l];
+  }
+  os << "], fibers=[";
+  for (std::size_t l = 0; l < order_; ++l) {
+    if (l) os << ',';
+    os << fids_[l].size();
+  }
+  os << "])";
+  return os.str();
+}
+
+std::vector<mode_t> CsfTensor::default_order(const CooTensor& tensor,
+                                             mode_t root) {
+  MDCP_CHECK(root < tensor.order());
+  std::vector<mode_t> rest;
+  for (mode_t m = 0; m < tensor.order(); ++m)
+    if (m != root) rest.push_back(m);
+  std::stable_sort(rest.begin(), rest.end(), [&](mode_t a, mode_t b) {
+    return tensor.dim(a) < tensor.dim(b);
+  });
+  std::vector<mode_t> order{root};
+  order.insert(order.end(), rest.begin(), rest.end());
+  return order;
+}
+
+}  // namespace mdcp

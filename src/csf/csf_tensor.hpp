@@ -1,0 +1,68 @@
+// Compressed Sparse Fiber (CSF) storage for sparse tensors of arbitrary
+// order — the data structure underlying SPLATT.
+//
+// A CSF is the path-compressed trie of the nonzero coordinates under a mode
+// ordering (root mode first). Level l stores one entry per distinct
+// length-(l+1) coordinate prefix ("fiber"): its index in mode_order[l]
+// (`fids`) and, for non-leaf levels, the range of its children (`fptr`,
+// CSR-style). Leaf entries align one-to-one with the nonzero values.
+//
+// The shared prefixes are what let MTTKRP factor the Hadamard-product work:
+// a factor row at level l is applied once per fiber instead of once per
+// nonzero.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "util/types.hpp"
+
+namespace mdcp {
+
+class CsfTensor {
+ public:
+  /// Builds the CSF of `tensor` under `mode_order` (a permutation of
+  /// 0..order-1; mode_order[0] is the root). The tensor should be coalesced;
+  /// duplicate coordinates would produce duplicate leaves.
+  CsfTensor(const CooTensor& tensor, std::vector<mode_t> mode_order);
+
+  mode_t order() const noexcept { return static_cast<mode_t>(order_); }
+  const std::vector<mode_t>& mode_order() const noexcept { return mode_order_; }
+  const shape_t& shape() const noexcept { return shape_; }
+
+  /// Number of fibers at CSF level l (level order-1 == nnz).
+  nnz_t num_fibers(mode_t level) const { return fids_[level].size(); }
+  nnz_t nnz() const { return vals_.size(); }
+
+  std::span<const index_t> fids(mode_t level) const {
+    return {fids_[level].data(), fids_[level].size()};
+  }
+  /// Children of fiber f at level l occupy [fptr(l)[f], fptr(l)[f+1]) at
+  /// level l+1. Only defined for l < order-1.
+  std::span<const nnz_t> fptr(mode_t level) const {
+    return {fptr_[level].data(), fptr_[level].size()};
+  }
+  std::span<const real_t> values() const { return {vals_.data(), vals_.size()}; }
+
+  std::size_t memory_bytes() const;
+
+  std::string summary() const;
+
+  /// Default SPLATT-like ordering rooted at `root`: remaining modes sorted
+  /// by increasing dimension (short modes near the root maximize prefix
+  /// sharing).
+  static std::vector<mode_t> default_order(const CooTensor& tensor,
+                                           mode_t root);
+
+ private:
+  std::size_t order_ = 0;
+  std::vector<mode_t> mode_order_;
+  shape_t shape_;
+  std::vector<std::vector<index_t>> fids_;  // [level][fiber]
+  std::vector<std::vector<nnz_t>> fptr_;    // [level][fiber+1], levels 0..N-2
+  std::vector<real_t> vals_;                // aligned with leaf level
+};
+
+}  // namespace mdcp

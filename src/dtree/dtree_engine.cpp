@@ -1,0 +1,85 @@
+#include "dtree/dtree_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dtree/numeric.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+DTreeMttkrpEngine::DTreeMttkrpEngine(const CooTensor& tensor,
+                                     const TreeSpec& spec,
+                                     std::string display_name)
+    : spec_(spec), tree_(tensor, spec_), name_(std::move(display_name)) {
+  peak_bytes_ = memory_bytes();
+}
+
+void DTreeMttkrpEngine::compute(mode_t mode,
+                                const std::vector<Matrix>& factors,
+                                Matrix& out) {
+  const index_t r = check_factors(tree_.tensor(), factors);
+  MDCP_CHECK(mode < tree_.order());
+  if (r != rank_) {
+    // Rank changed since the last call: every cached value matrix has the
+    // wrong width.
+    invalidate_all_nodes(tree_);
+    rank_ = r;
+  }
+
+  const int leaf = tree_.leaf_for_mode(mode);
+  compute_node_values(tree_, leaf, factors, r);
+  peak_bytes_ = std::max(peak_bytes_, memory_bytes());
+
+  // Scatter the leaf tuples into the dense output (rows of unused indices
+  // stay zero, matching the MTTKRP of empty slices).
+  const auto& ln = tree_.node(leaf);
+  out.resize(tree_.tensor().dim(mode), r, 0);
+  const auto rows = tree_.node_mode_index(leaf, mode);
+  parallel_for(ln.tuples, [&](nnz_t t) {
+    const auto src = ln.values.row(static_cast<index_t>(t));
+    auto dst = out.row(rows[t]);
+    std::copy(src.begin(), src.end(), dst.begin());
+  });
+}
+
+void DTreeMttkrpEngine::factor_updated(mode_t mode) {
+  MDCP_CHECK(mode < tree_.order());
+  invalidate_mode(tree_, mode);
+}
+
+void DTreeMttkrpEngine::invalidate_all() { invalidate_all_nodes(tree_); }
+
+std::size_t DTreeMttkrpEngine::memory_bytes() const {
+  return tree_.symbolic_bytes() + tree_.value_bytes();
+}
+
+namespace {
+std::vector<mode_t> natural_order(const CooTensor& t) {
+  std::vector<mode_t> o(t.order());
+  std::iota(o.begin(), o.end(), mode_t{0});
+  return o;
+}
+}  // namespace
+
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_flat(const CooTensor& tensor) {
+  return std::make_unique<DTreeMttkrpEngine>(
+      tensor, TreeSpec::flat(natural_order(tensor)), "dtree-flat");
+}
+
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_three_level(
+    const CooTensor& tensor) {
+  const auto order = natural_order(tensor);
+  return std::make_unique<DTreeMttkrpEngine>(
+      tensor,
+      TreeSpec::three_level(order, static_cast<mode_t>((order.size() + 1) / 2)),
+      "dtree-3lvl");
+}
+
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_bdt(const CooTensor& tensor) {
+  return std::make_unique<DTreeMttkrpEngine>(
+      tensor, TreeSpec::bdt(natural_order(tensor)), "dtree-bdt");
+}
+
+}  // namespace mdcp

@@ -1,0 +1,50 @@
+// MTTKRP engine backed by a dimension tree (the memoized scheme).
+//
+// compute(n) materializes the root→leaf(n) path, reusing any intermediate
+// already valid from earlier modes in the CP-ALS sweep. factor_updated(n)
+// invalidates exactly the nodes contracted with U^(n) — together these
+// reproduce the destroy/compute schedule of the dimension-tree CP-ALS
+// algorithm, including its ⌈log N⌉ live-value-matrix memory bound for BDTs.
+#pragma once
+
+#include <memory>
+
+#include "dtree/dimension_tree.hpp"
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+class DTreeMttkrpEngine final : public MttkrpEngine {
+ public:
+  /// The tensor must outlive the engine. `display_name` appears in logs and
+  /// benchmark tables ("dtree-bdt", "dtree-flat", ...).
+  DTreeMttkrpEngine(const CooTensor& tensor, const TreeSpec& spec,
+                    std::string display_name = "dtree");
+
+  void compute(mode_t mode, const std::vector<Matrix>& factors,
+               Matrix& out) override;
+  void factor_updated(mode_t mode) override;
+  void invalidate_all() override;
+  std::string name() const override { return name_; }
+  std::size_t memory_bytes() const override;
+  std::size_t peak_memory_bytes() const override { return peak_bytes_; }
+
+  const DimensionTree& tree() const noexcept { return tree_; }
+  const TreeSpec& spec() const noexcept { return spec_; }
+
+ private:
+  TreeSpec spec_;
+  DimensionTree tree_;
+  std::string name_;
+  index_t rank_ = 0;  // rank of the last compute(); mismatch resets state
+  std::size_t peak_bytes_ = 0;
+};
+
+/// Convenience factories for the three canonical shapes, using the natural
+/// mode order 0..N-1.
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_flat(const CooTensor& tensor);
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_three_level(
+    const CooTensor& tensor);
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_bdt(const CooTensor& tensor);
+
+}  // namespace mdcp

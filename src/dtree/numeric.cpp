@@ -1,0 +1,91 @@
+#include "dtree/numeric.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+namespace {
+
+// Computes one node's values from its (already materialized) parent.
+void ttmv_from_parent(DimensionTree& tree, int which,
+                      const std::vector<Matrix>& factors, index_t rank) {
+  auto& n = tree.node(which);
+  const auto& p = tree.node(n.parent);
+  const bool parent_is_root = p.is_root();
+
+  n.values.resize(static_cast<index_t>(n.tuples), rank, 0);
+
+  // Resolve the parent's coordinate arrays for the contracted modes and the
+  // factor matrices once, outside the hot loop.
+  const std::size_t nd = n.delta.size();
+  std::vector<std::span<const index_t>> didx(nd);
+  std::vector<const Matrix*> dfac(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    didx[d] = tree.node_mode_index(n.parent, n.delta[d]);
+    dfac[d] = &factors[n.delta[d]];
+  }
+  const std::span<const real_t> root_vals =
+      parent_is_root ? tree.tensor().values() : std::span<const real_t>{};
+
+#pragma omp parallel
+  {
+    std::vector<real_t> tmp(rank);
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t t = 0; t < static_cast<std::int64_t>(n.tuples); ++t) {
+      auto out = n.values.row(static_cast<index_t>(t));
+      for (nnz_t jp = n.red_ptr[static_cast<nnz_t>(t)];
+           jp < n.red_ptr[static_cast<nnz_t>(t) + 1]; ++jp) {
+        const nnz_t j = n.red_ids[jp];
+        if (parent_is_root) {
+          const real_t v = root_vals[j];
+          for (index_t k = 0; k < rank; ++k) tmp[k] = v;
+        } else {
+          const auto prow = p.values.row(static_cast<index_t>(j));
+          for (index_t k = 0; k < rank; ++k) tmp[k] = prow[k];
+        }
+        for (std::size_t d = 0; d < nd; ++d) {
+          const auto frow = dfac[d]->row(didx[d][j]);
+          for (index_t k = 0; k < rank; ++k) tmp[k] *= frow[k];
+        }
+        for (index_t k = 0; k < rank; ++k) out[k] += tmp[k];
+      }
+    }
+  }
+  n.valid = true;
+}
+
+}  // namespace
+
+void compute_node_values(DimensionTree& tree, int which,
+                         const std::vector<Matrix>& factors, index_t rank) {
+  auto& n = tree.node(which);
+  if (n.is_root()) return;  // the root aliases the input tensor
+  if (n.valid && n.values.cols() == rank) return;
+
+  compute_node_values(tree, n.parent, factors, rank);
+  ttmv_from_parent(tree, which, factors, rank);
+}
+
+void invalidate_mode(DimensionTree& tree, mode_t mode) {
+  for (int i = 0; i < tree.size(); ++i) {
+    auto& n = tree.node(i);
+    if (n.is_root()) continue;
+    if (!mode_in(n.mode_set, mode) && n.valid) {
+      n.valid = false;
+      n.values.resize(0, 0);
+    }
+  }
+}
+
+void invalidate_all_nodes(DimensionTree& tree) {
+  for (int i = 0; i < tree.size(); ++i) {
+    auto& n = tree.node(i);
+    n.valid = false;
+    n.values.resize(0, 0);
+  }
+}
+
+}  // namespace mdcp

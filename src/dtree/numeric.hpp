@@ -1,0 +1,32 @@
+// Numeric TTMV: materializes the value matrices of dimension-tree nodes.
+//
+// This is the per-iteration hot path. All R columns of a node are updated in
+// one "thick" vectorized pass (the TTMV formulation): for every tuple of the
+// node, the contributing parent rows are multiplied by the factor rows of
+// the contracted modes (δ) and summed. Parallel over output tuples — the
+// reduction sets make every output independent, so there are no atomics and
+// results are bitwise identical for any thread count.
+#pragma once
+
+#include <vector>
+
+#include "dtree/dimension_tree.hpp"
+#include "la/matrix.hpp"
+
+namespace mdcp {
+
+/// Ensures node `which` (and, recursively, its ancestors) hold value
+/// matrices consistent with `factors`. `rank` is the factor column count.
+/// Nodes already marked valid are reused — the memoization.
+void compute_node_values(DimensionTree& tree, int which,
+                         const std::vector<Matrix>& factors, index_t rank);
+
+/// Marks invalid (and frees) the value matrix of every node whose tensor was
+/// contracted with factor `mode` (i.e. mode ∉ μ(t)). Call whenever factor
+/// `mode` changes.
+void invalidate_mode(DimensionTree& tree, mode_t mode);
+
+/// Frees all value matrices.
+void invalidate_all_nodes(DimensionTree& tree);
+
+}  // namespace mdcp

@@ -1,0 +1,59 @@
+#include "dtree/symbolic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dtree/dimension_tree.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+
+void build_symbolic(DimensionTree& tree) {
+  // BFS order guarantees each parent is finalized before its children.
+  for (int id : tree.bfs_order()) {
+    auto& n = tree.node(id);
+    if (n.is_root()) continue;
+
+    const int parent = n.parent;
+    const nnz_t pcount = tree.node_tuples(parent);
+
+    // Gather the parent's index arrays for this node's modes once.
+    std::vector<std::span<const index_t>> keys;
+    keys.reserve(n.modes.size());
+    for (mode_t m : n.modes) keys.push_back(tree.node_mode_index(parent, m));
+
+    // Sort parent tuple ids by the projected key.
+    std::vector<nnz_t> perm(pcount);
+    std::iota(perm.begin(), perm.end(), nnz_t{0});
+    std::stable_sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+      for (const auto& k : keys) {
+        if (k[a] != k[b]) return k[a] < k[b];
+      }
+      return false;
+    });
+
+    const auto same_key = [&](nnz_t a, nnz_t b) {
+      for (const auto& k : keys)
+        if (k[a] != k[b]) return false;
+      return true;
+    };
+
+    // Group equal keys: each group becomes one tuple of this node, and the
+    // group's members form its reduction set.
+    n.idx.assign(n.modes.size(), {});
+    n.red_ids = std::move(perm);
+    n.red_ptr.clear();
+    for (nnz_t p = 0; p < pcount; ++p) {
+      if (p == 0 || !same_key(n.red_ids[p], n.red_ids[p - 1])) {
+        n.red_ptr.push_back(p);
+        for (std::size_t m = 0; m < keys.size(); ++m)
+          n.idx[m].push_back(keys[m][n.red_ids[p]]);
+      }
+    }
+    n.red_ptr.push_back(pcount);
+    n.tuples = n.red_ptr.size() - 1;
+    MDCP_CHECK(n.tuples <= pcount);
+  }
+}
+
+}  // namespace mdcp

@@ -1,0 +1,36 @@
+// Hand-rolled dense kernels sized for CP-ALS: tall-skinny Gram products,
+// tiny R×R algebra, Hadamard products, and column normalization.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/types.hpp"
+
+namespace mdcp {
+
+/// out = A^T A (out is cols×cols, symmetric). Parallel over row blocks.
+void gram(const Matrix& a, Matrix& out);
+
+/// Returns A^T A.
+Matrix gram(const Matrix& a);
+
+/// C = A * B (dimensions must agree). Straightforward ikj loop; A is
+/// typically I×R and B is R×R in CP-ALS.
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& c);
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// a <- a ∘ b (elementwise).
+void hadamard_inplace(Matrix& a, const Matrix& b);
+
+/// Elementwise product of a list of same-shape matrices.
+Matrix hadamard_all(const std::vector<const Matrix*>& ms);
+
+/// Normalizes each column of `a` to unit 2-norm; returns the norms.
+/// Zero columns get norm 0 and are left untouched (caller may reinitialize).
+std::vector<real_t> column_normalize(Matrix& a);
+
+/// <a, b> = sum_ij a_ij b_ij.
+real_t dot(const Matrix& a, const Matrix& b);
+
+}  // namespace mdcp

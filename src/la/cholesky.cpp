@@ -1,0 +1,65 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "la/eigen.hpp"
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+bool cholesky_factor(Matrix& a) {
+  MDCP_CHECK(a.rows() == a.cols());
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    real_t d = a(j, j);
+    for (index_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (!(d > 0) || !std::isfinite(d)) return false;
+    const real_t lj = std::sqrt(d);
+    a(j, j) = lj;
+    for (index_t i = j + 1; i < n; ++i) {
+      real_t s = a(i, j);
+      for (index_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / lj;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve_rows(const Matrix& l, Matrix& rhs_rows) {
+  MDCP_CHECK(l.rows() == l.cols());
+  MDCP_CHECK(rhs_rows.cols() == l.rows());
+  const index_t n = l.rows();
+  parallel_for(rhs_rows.rows(), [&](nnz_t ri) {
+    auto x = rhs_rows.row(static_cast<index_t>(ri));
+    // Forward substitution: L y = b.
+    for (index_t i = 0; i < n; ++i) {
+      real_t s = x[i];
+      for (index_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
+      x[i] = s / l(i, i);
+    }
+    // Backward substitution: Lᵀ x = y.
+    for (index_t ii = n; ii-- > 0;) {
+      real_t s = x[ii];
+      for (index_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+      x[ii] = s / l(ii, ii);
+    }
+  });
+}
+
+Matrix solve_normal_equations(const Matrix& h, const Matrix& m) {
+  MDCP_CHECK(h.rows() == h.cols());
+  MDCP_CHECK(m.cols() == h.rows());
+  Matrix l = h;
+  if (cholesky_factor(l)) {
+    Matrix x = m;
+    cholesky_solve_rows(l, x);
+    return x;
+  }
+  // Rank-deficient H: use the Moore–Penrose pseudo-inverse.
+  const Matrix hp = pseudo_inverse(h);
+  return multiply(m, hp);
+}
+
+}  // namespace mdcp

@@ -1,0 +1,26 @@
+// Symmetric positive-(semi)definite solves for the CP-ALS normal equations.
+//
+// Each sub-iteration solves U = M · H⁺ where H = ∘_{i≠n} (Uᵢᵀ Uᵢ) is R×R and
+// symmetric PSD. We attempt a Cholesky solve first (fast path); if H is
+// numerically rank-deficient we fall back to the Moore–Penrose pseudo-inverse
+// built from a Jacobi eigendecomposition — matching the ALS literature.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace mdcp {
+
+/// In-place lower Cholesky factorization A = L·Lᵀ (only the lower triangle of
+/// the output is meaningful). Returns false if a non-positive pivot appears.
+bool cholesky_factor(Matrix& a);
+
+/// Solves L·Lᵀ·x = b for each row b of `rhs_rows` (i.e. computes rhs·A⁻¹ for
+/// symmetric A given its Cholesky factor L). rhs_rows is I×R, modified
+/// in place.
+void cholesky_solve_rows(const Matrix& l, Matrix& rhs_rows);
+
+/// Computes X = M · H⁺ robustly: Cholesky when H is SPD, pseudo-inverse
+/// otherwise. `h` is R×R symmetric, `m` is I×R. Returns X (I×R).
+Matrix solve_normal_equations(const Matrix& h, const Matrix& m);
+
+}  // namespace mdcp

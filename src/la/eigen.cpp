@@ -1,0 +1,83 @@
+#include "la/eigen.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+void jacobi_eigen_symmetric(const Matrix& a, Matrix& eigenvectors,
+                            std::vector<real_t>& eigenvalues, int max_sweeps) {
+  MDCP_CHECK(a.rows() == a.cols());
+  const index_t n = a.rows();
+  Matrix d = a;  // working copy, driven to diagonal form
+  eigenvectors.resize(n, n, 0);
+  for (index_t i = 0; i < n; ++i) eigenvectors(i, i) = 1;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    real_t off = 0;
+    for (index_t p = 0; p < n; ++p)
+      for (index_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    if (off < 1e-30) break;
+
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const real_t apq = d(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const real_t theta = (d(q, q) - d(p, p)) / (2 * apq);
+        const real_t t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1));
+        const real_t c = 1 / std::sqrt(t * t + 1);
+        const real_t s = t * c;
+
+        for (index_t k = 0; k < n; ++k) {
+          const real_t dkp = d(k, p);
+          const real_t dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const real_t dpk = d(p, k);
+          const real_t dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const real_t vkp = eigenvectors(k, p);
+          const real_t vkq = eigenvectors(k, q);
+          eigenvectors(k, p) = c * vkp - s * vkq;
+          eigenvectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  eigenvalues.resize(n);
+  for (index_t i = 0; i < n; ++i) eigenvalues[i] = d(i, i);
+}
+
+Matrix pseudo_inverse(const Matrix& a, real_t rcond) {
+  Matrix v;
+  std::vector<real_t> w;
+  jacobi_eigen_symmetric(a, v, w);
+
+  real_t wmax = 0;
+  for (real_t x : w) wmax = std::max(wmax, std::abs(x));
+  const real_t cutoff = rcond * wmax;
+
+  const index_t n = a.rows();
+  Matrix out(n, n, 0);
+  // out = V · diag(w⁺) · Vᵀ
+  for (index_t k = 0; k < n; ++k) {
+    if (std::abs(w[k]) <= cutoff) continue;
+    const real_t inv = 1 / w[k];
+    for (index_t i = 0; i < n; ++i) {
+      const real_t vik = v(i, k) * inv;
+      if (vik == 0) continue;
+      for (index_t j = 0; j < n; ++j) out(i, j) += vik * v(j, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace mdcp

@@ -1,0 +1,22 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and pseudo-inverse for small
+// R×R matrices. Only needed on the rank-deficient fallback path of the
+// CP-ALS normal equations, so simplicity beats speed here.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace mdcp {
+
+/// Computes A = V · diag(w) · Vᵀ for symmetric A. V's columns are the
+/// eigenvectors. Cyclic Jacobi with a fixed sweep budget.
+void jacobi_eigen_symmetric(const Matrix& a, Matrix& eigenvectors,
+                            std::vector<real_t>& eigenvalues,
+                            int max_sweeps = 64);
+
+/// Moore–Penrose pseudo-inverse of a symmetric matrix via its
+/// eigendecomposition (eigenvalues below `rcond`·max|w| are treated as zero).
+Matrix pseudo_inverse(const Matrix& a, real_t rcond = 1e-12);
+
+}  // namespace mdcp

@@ -1,0 +1,71 @@
+// Dense row-major matrix used for CP factor matrices and R×R Gram matrices.
+//
+// mdcp deliberately carries its own small dense kernels instead of linking a
+// BLAS: every dense operation in CP-ALS is either tall-skinny (I × R with
+// R ≤ 64) or tiny (R × R), where simple cache-friendly loops are competitive
+// and keep the library dependency-free.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mdcp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols, real_t fill_value = 0);
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  real_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  real_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  std::span<real_t> row(index_t i) {
+    return {data_.data() + static_cast<std::size_t>(i) * cols_, cols_};
+  }
+  std::span<const real_t> row(index_t i) const {
+    return {data_.data() + static_cast<std::size_t>(i) * cols_, cols_};
+  }
+
+  real_t* data() noexcept { return data_.data(); }
+  const real_t* data() const noexcept { return data_.data(); }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  void fill(real_t v);
+  void zero() { fill(0); }
+
+  /// Resizes, discarding contents (all entries set to fill_value).
+  void resize(index_t rows, index_t cols, real_t fill_value = 0);
+
+  Matrix transposed() const;
+
+  real_t frobenius_norm() const;
+
+  /// max_ij |a_ij - b_ij|; matrices must be the same shape.
+  static real_t max_abs_diff(const Matrix& a, const Matrix& b);
+
+  /// i.i.d. Uniform(0,1) entries.
+  static Matrix random_uniform(index_t rows, index_t cols, Rng& rng);
+
+  /// i.i.d. standard normal entries.
+  static Matrix random_normal(index_t rows, index_t cols, Rng& rng);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+}  // namespace mdcp

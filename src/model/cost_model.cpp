@@ -1,0 +1,128 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "dtree/dtree_engine.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace mdcp {
+
+namespace {
+
+mode_set_t spec_mode_set(const TreeSpec& spec) {
+  mode_set_t s = 0;
+  for (mode_t m : spec.modes) s |= mode_set_t{1} << m;
+  return s;
+}
+
+}  // namespace
+
+StrategyPrediction predict_strategy(const CooTensor& tensor,
+                                    const TreeSpec& spec, index_t rank,
+                                    ProjectionCounter& counter,
+                                    const CostModelParams& params) {
+  spec.validate(tensor.order());
+  StrategyPrediction pred;
+  const double r = static_cast<double>(rank);
+
+  // Per-leaf path costs, used for the peak-value-memory bound.
+  std::vector<std::size_t> path_value_bytes;
+
+  const std::function<void(const TreeSpec&, mode_set_t, nnz_t, std::size_t)>
+      visit = [&](const TreeSpec& node, mode_set_t parent_set,
+                  nnz_t parent_tuples, std::size_t path_bytes_above) {
+        const mode_set_t ms = spec_mode_set(node);
+        const bool is_root = parent_set == 0;
+        nnz_t tuples = is_root ? tensor.nnz() : counter.count(ms);
+        if (!is_root) tuples = std::min(tuples, parent_tuples);
+
+        std::size_t my_value_bytes = 0;
+        if (!is_root) {
+          NodeCostEstimate nc;
+          nc.mode_set = ms;
+          nc.tuples = tuples;
+          nc.parent_tuples = parent_tuples;
+          nc.delta = mode_count(parent_set & ~ms);
+          const double pt = static_cast<double>(parent_tuples);
+          nc.flops = pt * r * (nc.delta + 1);
+          nc.bytes = pt * (r * sizeof(real_t)                 // parent row
+                           + nc.delta * r * sizeof(real_t)    // factor rows
+                           + sizeof(nnz_t))                   // reduction id
+                     + static_cast<double>(tuples) * r * sizeof(real_t);
+          pred.nodes.push_back(nc);
+          pred.flops_per_iteration += nc.flops;
+          pred.bytes_per_iteration += nc.bytes;
+
+          // Persistent symbolic structures of this node.
+          pred.symbolic_bytes +=
+              static_cast<std::size_t>(tuples) *
+                  (node.is_leaf() ? 1 : node.modes.size()) * sizeof(index_t) +
+              static_cast<std::size_t>(parent_tuples) * sizeof(nnz_t) +
+              (static_cast<std::size_t>(tuples) + 1) * sizeof(nnz_t);
+          my_value_bytes =
+              static_cast<std::size_t>(tuples) * rank * sizeof(real_t);
+        }
+
+        const std::size_t path_bytes = path_bytes_above + my_value_bytes;
+        if (node.is_leaf()) {
+          path_value_bytes.push_back(path_bytes);
+          return;
+        }
+        for (const auto& c : node.children)
+          visit(c, ms, tuples, path_bytes);
+      };
+  visit(spec, 0, 0, 0);
+
+  pred.peak_value_bytes =
+      path_value_bytes.empty()
+          ? 0
+          : *std::max_element(path_value_bytes.begin(), path_value_bytes.end());
+  pred.seconds_per_iteration =
+      params.seconds_per_flop * pred.flops_per_iteration +
+      params.seconds_per_byte * pred.bytes_per_iteration;
+  return pred;
+}
+
+CostModelParams calibrate_cost_model(index_t rank, std::uint64_t seed) {
+  CostModelParams params;
+  // Probe: one flat-tree MTTKRP sweep on a small uniform 4-D tensor; fit
+  // seconds_per_flop so that predicted == measured, holding the machine-
+  // balance ratio between the flop and byte terms fixed.
+  const shape_t shape{200, 200, 200, 200};
+  const nnz_t probe_nnz = 40000;
+  const CooTensor probe = generate_uniform(shape, probe_nnz, seed);
+  auto engine = make_dtree_flat(probe);
+
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (mode_t m = 0; m < probe.order(); ++m)
+    factors.push_back(Matrix::random_uniform(probe.dim(m), rank, rng));
+
+  Matrix out;
+  engine->compute(0, factors, out);  // warm-up (symbolic already built)
+  WallTimer t;
+  const int reps = 5;
+  for (int rep = 0; rep < reps; ++rep) {
+    engine->invalidate_all();
+    for (mode_t m = 0; m < probe.order(); ++m)
+      engine->compute(m, factors, out);
+  }
+  const double measured = t.seconds() / reps;
+
+  ProjectionCounter counter(probe);
+  std::vector<mode_t> order(probe.order());
+  for (mode_t m = 0; m < probe.order(); ++m) order[m] = m;
+  const auto pred =
+      predict_strategy(probe, TreeSpec::flat(order), rank, counter, params);
+  if (pred.seconds_per_iteration > 0 && measured > 0) {
+    const double scale = measured / pred.seconds_per_iteration;
+    params.seconds_per_flop *= scale;
+    params.seconds_per_byte *= scale;
+  }
+  return params;
+}
+
+}  // namespace mdcp

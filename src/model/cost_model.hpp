@@ -1,0 +1,70 @@
+// Analytic per-iteration cost model for memoization strategies.
+//
+// Given a candidate tree shape, the model predicts — without building the
+// tree — the work and memory of one CP-ALS iteration:
+//
+//   flops(node)  = |parent tuples| · R · (|δ| + 1)
+//                  (each contributing parent tuple costs |δ| Hadamard
+//                   row-multiplies plus one accumulate, over R columns)
+//   bytes(node)  ≈ reads of the parent rows and factor rows + the reduction
+//                  ids + the output write, all per iteration
+//   peak memory  = max over root→leaf paths of the value matrices alive at
+//                  once (the dimension-tree scheduling bound) + persistent
+//                  symbolic index structures.
+//
+// Node tuple counts come from the ProjectionCounter sketches, so evaluating
+// a strategy costs O(nnz) once per *distinct mode subset* across all
+// candidates — orders of magnitude cheaper than running each candidate.
+// Predicted seconds = α·flops + β·bytes; only the ratio α:β matters for
+// ranking strategies, and `calibrate_cost_model` fits α empirically with a
+// microprobe if desired.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtree/dimension_tree.hpp"
+#include "model/sketch.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+struct CostModelParams {
+  double seconds_per_flop = 1.5e-9;  ///< effective scalar FMA cost
+  double seconds_per_byte = 1.5e-10; ///< effective memory-traffic cost
+};
+
+struct NodeCostEstimate {
+  mode_set_t mode_set = 0;
+  nnz_t tuples = 0;         ///< estimated projected-tuple count
+  nnz_t parent_tuples = 0;  ///< estimated tuple count of the parent
+  int delta = 0;            ///< modes contracted parent→node
+  double flops = 0;
+  double bytes = 0;
+};
+
+struct StrategyPrediction {
+  double flops_per_iteration = 0;
+  double bytes_per_iteration = 0;
+  double seconds_per_iteration = 0;
+  std::size_t symbolic_bytes = 0;    ///< persistent index + reduction memory
+  std::size_t peak_value_bytes = 0;  ///< live value matrices (schedule bound)
+  std::vector<NodeCostEstimate> nodes;
+
+  std::size_t total_memory_bytes() const {
+    return symbolic_bytes + peak_value_bytes;
+  }
+};
+
+/// Predicts one CP-ALS iteration of MTTKRPs under `spec` at rank `rank`.
+StrategyPrediction predict_strategy(const CooTensor& tensor,
+                                    const TreeSpec& spec, index_t rank,
+                                    ProjectionCounter& counter,
+                                    const CostModelParams& params = {});
+
+/// Fits `seconds_per_flop` by timing a small synthetic contraction probe on
+/// this machine; `seconds_per_byte` keeps the default machine-balance ratio.
+CostModelParams calibrate_cost_model(index_t rank = 16,
+                                     std::uint64_t seed = 7);
+
+}  // namespace mdcp

@@ -1,0 +1,81 @@
+#include "model/sketch.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdcp {
+
+std::uint64_t projection_hash(const CooTensor& t, nnz_t i, mode_set_t modes,
+                              std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (mode_t m = 0; m < t.order(); ++m) {
+    if (!mode_in(modes, m)) continue;
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(t.index(m, i)) |
+                        (static_cast<std::uint64_t>(m) << 40)));
+  }
+  return h;
+}
+
+nnz_t exact_distinct_projections(const CooTensor& t, mode_set_t modes) {
+  if (t.nnz() == 0) return 0;
+  if ((modes & all_modes(t.order())) == 0) return 1;  // scalar projection
+  std::vector<std::uint64_t> hashes(t.nnz());
+  for (nnz_t i = 0; i < t.nnz(); ++i) hashes[i] = projection_hash(t, i, modes);
+  std::sort(hashes.begin(), hashes.end());
+  nnz_t distinct = 1;
+  for (nnz_t i = 1; i < hashes.size(); ++i)
+    distinct += hashes[i] != hashes[i - 1];
+  return distinct;
+}
+
+nnz_t kmv_distinct_projections(const CooTensor& t, mode_set_t modes,
+                               unsigned k, std::uint64_t seed) {
+  MDCP_CHECK(k >= 2);
+  if (t.nnz() == 0) return 0;
+  if ((modes & all_modes(t.order())) == 0) return 1;
+
+  // Ordered set of the k smallest *distinct* hashes seen. Duplicates must be
+  // skipped, not inserted — otherwise copies of small hashes crowd out larger
+  // distinct values and the estimate collapses.
+  std::set<std::uint64_t> mins;
+  for (nnz_t i = 0; i < t.nnz(); ++i) {
+    const std::uint64_t h = projection_hash(t, i, modes, seed);
+    if (mins.size() < k) {
+      mins.insert(h);
+    } else if (h < *mins.rbegin() && !mins.contains(h)) {
+      mins.insert(h);
+      mins.erase(std::prev(mins.end()));
+    }
+  }
+
+  if (mins.size() < k) return static_cast<nnz_t>(mins.size());  // saw them all
+  const long double kth = static_cast<long double>(*mins.rbegin());
+  MDCP_CHECK(kth > 0);
+  const long double est =
+      (static_cast<long double>(k) - 1) * 18446744073709551616.0L / kth;
+  return static_cast<nnz_t>(std::min<long double>(
+      est, static_cast<long double>(t.nnz())));
+}
+
+ProjectionCounter::ProjectionCounter(const CooTensor& tensor,
+                                     nnz_t exact_threshold, unsigned kmv_k)
+    : tensor_(tensor), exact_threshold_(exact_threshold), kmv_k_(kmv_k) {}
+
+nnz_t ProjectionCounter::count(mode_set_t modes) {
+  modes &= all_modes(tensor_.order());
+  const auto it = cache_.find(modes);
+  if (it != cache_.end()) return it->second;
+  ++passes_;
+  const nnz_t result =
+      (tensor_.nnz() <= exact_threshold_)
+          ? exact_distinct_projections(tensor_, modes)
+          : kmv_distinct_projections(tensor_, modes, kmv_k_);
+  cache_.emplace(modes, result);
+  return result;
+}
+
+}  // namespace mdcp

@@ -1,0 +1,44 @@
+// Candidate-strategy enumeration for the model-driven tuner.
+//
+// A strategy = a tree shape × a mode ordering. The enumeration covers the
+// schemes of the sparse-CP literature:
+//   * flat            (no memoization across modes; SPLATT-like work)
+//   * three-level(s)  (one memoized split at every position s — the
+//                      two-group scheme, generalized over split points)
+//   * full BDT        (the dimension-tree scheme)
+// crossed with mode orderings {natural, dimensions ascending, dimensions
+// descending}. Orderings matter because they decide which mode subsets get
+// memoized, and real tensors contract very differently across mode subsets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtree/dimension_tree.hpp"
+#include "model/sketch.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+struct Strategy {
+  TreeSpec spec;
+  std::string name;  ///< e.g. "bdt/asc", "3lvl@2/nat", "flat"
+};
+
+/// All candidate strategies for this tensor (deduplicated by spec string).
+/// If a ProjectionCounter is supplied, the model-driven *greedy* tree (see
+/// greedy_tree) is added to the candidate set.
+std::vector<Strategy> enumerate_strategies(const CooTensor& tensor,
+                                           ProjectionCounter* counter = nullptr);
+
+/// The three canonical mode orderings.
+std::vector<std::vector<mode_t>> candidate_mode_orders(const CooTensor& tensor);
+
+/// Model-driven tree construction: agglomeratively merges the pair of mode
+/// groups whose union projection has the fewest distinct tuples (i.e. whose
+/// joint contraction collapses the most), producing a binary tree that
+/// memoizes the most-collapsing subsets deepest. This searches far beyond
+/// the canonical orderings at the cost of O(N³) sketch queries.
+TreeSpec greedy_tree(const CooTensor& tensor, ProjectionCounter& counter);
+
+}  // namespace mdcp

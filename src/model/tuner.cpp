@@ -1,0 +1,118 @@
+#include "model/tuner.hpp"
+
+#include <algorithm>
+
+#include "dtree/dtree_engine.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace mdcp {
+
+TunerReport select_strategy(const CooTensor& tensor, index_t rank,
+                            std::size_t memory_budget_bytes,
+                            const CostModelParams& params) {
+  MDCP_CHECK(rank > 0);
+  ProjectionCounter counter(tensor);
+  TunerReport report;
+  for (auto& strat : enumerate_strategies(tensor, &counter)) {
+    RankedStrategy rs;
+    rs.prediction = predict_strategy(tensor, strat.spec, rank, counter, params);
+    rs.fits_budget = memory_budget_bytes == 0 ||
+                     rs.prediction.total_memory_bytes() <= memory_budget_bytes;
+    rs.strategy = std::move(strat);
+    report.ranked.push_back(std::move(rs));
+  }
+  std::stable_sort(report.ranked.begin(), report.ranked.end(),
+                   [](const RankedStrategy& a, const RankedStrategy& b) {
+                     return a.prediction.seconds_per_iteration <
+                            b.prediction.seconds_per_iteration;
+                   });
+
+  // First (fastest) strategy that fits the budget; if none fit, fall back to
+  // the minimum-memory one.
+  report.chosen = report.ranked.size();
+  for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+    if (report.ranked[i].fits_budget) {
+      report.chosen = i;
+      break;
+    }
+  }
+  if (report.chosen == report.ranked.size()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < report.ranked.size(); ++i) {
+      if (report.ranked[i].prediction.total_memory_bytes() <
+          report.ranked[best].prediction.total_memory_bytes())
+        best = i;
+    }
+    report.chosen = best;
+  }
+  return report;
+}
+
+std::unique_ptr<MttkrpEngine> make_auto_engine(const CooTensor& tensor,
+                                               index_t rank,
+                                               std::size_t memory_budget_bytes,
+                                               const CostModelParams& params) {
+  const TunerReport report =
+      select_strategy(tensor, rank, memory_budget_bytes, params);
+  const auto& win = report.winner();
+  return std::make_unique<DTreeMttkrpEngine>(tensor, win.strategy.spec,
+                                             "auto:" + win.strategy.name);
+}
+
+TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
+                                   std::size_t memory_budget_bytes,
+                                   const CostModelParams& params,
+                                   int shortlist) {
+  MDCP_CHECK(shortlist > 0);
+  TunerReport report =
+      select_strategy(tensor, rank, memory_budget_bytes, params);
+
+  // Probe inputs: fixed-seed factors (probe time, not output, depends on
+  // them) shared by all candidates.
+  Rng rng(0xbeefULL);
+  std::vector<Matrix> factors;
+  for (mode_t m = 0; m < tensor.order(); ++m)
+    factors.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));
+
+  double best_time = -1;
+  std::size_t best_idx = report.chosen;
+  int probed = 0;
+  for (std::size_t i = 0; i < report.ranked.size() && probed < shortlist;
+       ++i) {
+    if (!report.ranked[i].fits_budget) continue;
+    ++probed;
+    DTreeMttkrpEngine engine(tensor, report.ranked[i].strategy.spec);
+    Matrix out;
+    // One warm sweep, then the minimum of two timed sweeps (the minimum is
+    // the least-noisy estimator of intrinsic cost on a shared host).
+    double candidate = -1;
+    for (int pass = 0; pass < 3; ++pass) {
+      WallTimer t;
+      for (mode_t m = 0; m < tensor.order(); ++m) {
+        engine.compute(m, factors, out);
+        engine.factor_updated(m);
+      }
+      const double secs = t.seconds();
+      if (pass > 0 && (candidate < 0 || secs < candidate)) candidate = secs;
+    }
+    if (best_time < 0 || candidate < best_time) {
+      best_time = candidate;
+      best_idx = i;
+    }
+  }
+  report.chosen = best_idx;
+  return report;
+}
+
+std::unique_ptr<MttkrpEngine> make_probed_engine(
+    const CooTensor& tensor, index_t rank, std::size_t memory_budget_bytes,
+    const CostModelParams& params, int shortlist) {
+  const TunerReport report = select_strategy_probed(
+      tensor, rank, memory_budget_bytes, params, shortlist);
+  const auto& win = report.winner();
+  return std::make_unique<DTreeMttkrpEngine>(tensor, win.strategy.spec,
+                                             "auto+probe:" + win.strategy.name);
+}
+
+}  // namespace mdcp

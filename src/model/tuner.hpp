@@ -1,0 +1,63 @@
+// The model-driven tuner: predict every candidate strategy, pick the best
+// under the memory budget, and hand back a ready-to-run engine.
+//
+// This is the paper's headline loop: instead of autotuning (running every
+// scheme and keeping the fastest — N× the cost of the thing being tuned) or
+// hard-coding one scheme, the analytic model ranks all candidates from cheap
+// sketch statistics and selects the winner up front.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/cost_model.hpp"
+#include "model/strategy.hpp"
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+struct RankedStrategy {
+  Strategy strategy;
+  StrategyPrediction prediction;
+  bool fits_budget = true;
+};
+
+struct TunerReport {
+  std::vector<RankedStrategy> ranked;  ///< ascending predicted seconds
+  std::size_t chosen = 0;              ///< index into `ranked`
+
+  const RankedStrategy& winner() const { return ranked[chosen]; }
+};
+
+/// Ranks all candidate strategies for `tensor` at `rank`.
+/// `memory_budget_bytes` bounds symbolic + peak value memory (0 = unlimited);
+/// if nothing fits, the minimum-memory strategy is chosen and flagged.
+TunerReport select_strategy(const CooTensor& tensor, index_t rank,
+                            std::size_t memory_budget_bytes = 0,
+                            const CostModelParams& params = {});
+
+/// Builds the engine the tuner selected. name() reports
+/// "auto:<strategy-name>". The tensor must outlive the engine.
+std::unique_ptr<MttkrpEngine> make_auto_engine(
+    const CooTensor& tensor, index_t rank,
+    std::size_t memory_budget_bytes = 0, const CostModelParams& params = {});
+
+/// Hybrid model+probe selection: the analytic model shortlists the
+/// `shortlist` budget-feasible candidates, one real MTTKRP sweep of each is
+/// measured, and the measured winner is chosen. Costs ~`shortlist` sweeps up
+/// front (still far below exhaustive autotuning) and removes the residual
+/// model error on tensors whose cache behaviour the flop/byte counts miss.
+/// Returns the report re-ranked with `chosen` pointing at the probed winner.
+TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
+                                   std::size_t memory_budget_bytes = 0,
+                                   const CostModelParams& params = {},
+                                   int shortlist = 3);
+
+/// Engine built from the probed selection; name() reports
+/// "auto+probe:<strategy-name>".
+std::unique_ptr<MttkrpEngine> make_probed_engine(
+    const CooTensor& tensor, index_t rank,
+    std::size_t memory_budget_bytes = 0, const CostModelParams& params = {},
+    int shortlist = 3);
+
+}  // namespace mdcp

@@ -1,0 +1,138 @@
+#include "mttkrp/blocked_coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+BlockedCooEngine::BlockedCooEngine(const CooTensor& tensor,
+                                   unsigned block_bits)
+    : bits_(block_bits), order_(tensor.order()), shape_(tensor.shape()) {
+  MDCP_CHECK_MSG(block_bits >= 1 && block_bits <= 8,
+                 "block_bits must be in [1, 8] (8-bit local offsets)");
+  const nnz_t n = tensor.nnz();
+
+  // Sort nonzeros by block key (the per-mode high bits, lexicographic),
+  // breaking ties by the full coordinates for in-block locality.
+  std::vector<nnz_t> perm(n);
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  const auto block_of = [&](mode_t m, nnz_t i) {
+    return tensor.index(m, i) >> bits_;
+  };
+  std::stable_sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (mode_t m = 0; m < order_; ++m) {
+      const index_t ba = block_of(m, a);
+      const index_t bb = block_of(m, b);
+      if (ba != bb) return ba < bb;
+    }
+    for (mode_t m = 0; m < order_; ++m) {
+      const index_t ia = tensor.index(m, a);
+      const index_t ib = tensor.index(m, b);
+      if (ia != ib) return ia < ib;
+    }
+    return false;
+  });
+
+  const auto same_block = [&](nnz_t a, nnz_t b) {
+    for (mode_t m = 0; m < order_; ++m)
+      if (block_of(m, a) != block_of(m, b)) return false;
+    return true;
+  };
+
+  local_.assign(order_, {});
+  for (auto& l : local_) l.resize(n);
+  vals_.resize(n);
+  for (nnz_t p = 0; p < n; ++p) {
+    const nnz_t i = perm[p];
+    if (p == 0 || !same_block(i, perm[p - 1])) {
+      block_ptr_.push_back(p);
+      for (mode_t m = 0; m < order_; ++m)
+        block_base_.push_back((tensor.index(m, i) >> bits_) << bits_);
+    }
+    for (mode_t m = 0; m < order_; ++m) {
+      local_[m][p] = static_cast<std::uint8_t>(
+          tensor.index(m, i) - block_base_[(block_ptr_.size() - 1) * order_ + m]);
+    }
+    vals_[p] = tensor.value(i);
+  }
+  block_ptr_.push_back(n);
+
+  // Per-mode scatter plans: group blocks by their mode-m base.
+  const nnz_t blocks = num_blocks();
+  plans_.resize(order_);
+  for (mode_t m = 0; m < order_; ++m) {
+    ModePlan& plan = plans_[m];
+    plan.perm.resize(blocks);
+    std::iota(plan.perm.begin(), plan.perm.end(), nnz_t{0});
+    std::stable_sort(plan.perm.begin(), plan.perm.end(),
+                     [&](nnz_t a, nnz_t b) {
+                       return block_base_[a * order_ + m] <
+                              block_base_[b * order_ + m];
+                     });
+    for (nnz_t p = 0; p < blocks; ++p) {
+      const index_t base = block_base_[plan.perm[p] * order_ + m];
+      if (plan.bases.empty() || plan.bases.back() != base) {
+        plan.bases.push_back(base);
+        plan.group_start.push_back(p);
+      }
+    }
+    plan.group_start.push_back(blocks);
+  }
+}
+
+void BlockedCooEngine::compute(mode_t mode,
+                               const std::vector<Matrix>& factors,
+                               Matrix& out) {
+  MDCP_CHECK_MSG(factors.size() == order_, "one factor per mode required");
+  MDCP_CHECK(mode < order_);
+  const index_t r = factors[0].cols();
+  for (mode_t m = 0; m < order_; ++m) {
+    MDCP_CHECK_MSG(factors[m].rows() == shape_[m] && factors[m].cols() == r,
+                   "factor shape mismatch in mode " << m);
+  }
+  out.resize(shape_[mode], r, 0);
+
+  const ModePlan& plan = plans_[mode];
+#pragma omp parallel
+  {
+    std::vector<real_t> tmp(r);
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t g = 0;
+         g < static_cast<std::int64_t>(plan.bases.size()); ++g) {
+      // This group owns output rows [base, base + 2^bits): race-free.
+      for (nnz_t bp = plan.group_start[static_cast<std::size_t>(g)];
+           bp < plan.group_start[static_cast<std::size_t>(g) + 1]; ++bp) {
+        const nnz_t blk = plan.perm[bp];
+        const index_t* base = &block_base_[blk * order_];
+        for (nnz_t p = block_ptr_[blk]; p < block_ptr_[blk + 1]; ++p) {
+          const real_t v = vals_[p];
+          for (index_t k = 0; k < r; ++k) tmp[k] = v;
+          for (mode_t m = 0; m < order_; ++m) {
+            if (m == mode) continue;
+            const auto frow = factors[m].row(base[m] + local_[m][p]);
+            for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
+          }
+          auto orow = out.row(base[mode] + local_[mode][p]);
+          for (index_t k = 0; k < r; ++k) orow[k] += tmp[k];
+        }
+      }
+    }
+  }
+}
+
+std::size_t BlockedCooEngine::memory_bytes() const {
+  std::size_t b = block_base_.size() * sizeof(index_t) +
+                  block_ptr_.size() * sizeof(nnz_t) +
+                  vals_.size() * sizeof(real_t);
+  for (const auto& l : local_) b += l.size() * sizeof(std::uint8_t);
+  for (const auto& p : plans_) {
+    b += p.perm.size() * sizeof(nnz_t) + p.bases.size() * sizeof(index_t) +
+         p.group_start.size() * sizeof(nnz_t);
+  }
+  return b;
+}
+
+}  // namespace mdcp

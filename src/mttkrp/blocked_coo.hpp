@@ -1,0 +1,59 @@
+// Blocked-COO MTTKRP engine (HiCOO-style).
+//
+// Nonzeros are grouped into aligned N-dimensional blocks of side 2^b
+// (b ≤ 8): each block stores its base coordinates once, and every nonzero
+// inside it only stores 8-bit block-local offsets. Compared to plain COO
+// this shrinks index memory from N·4 to ~N·1 bytes per nonzero and gives
+// the kernel block-level locality: all factor rows touched by one block lie
+// within a 2^b-row window per mode.
+//
+// This is the storage idea of HiCOO (Li et al., SC'18 — the same research
+// line as the target paper), implemented here in its MTTKRP-engine form.
+//
+// Parallelization: for each output mode, blocks are grouped by their
+// mode-m base; a group owns the disjoint output row range
+// [base, base+2^b), so groups run in parallel with no atomics and a fixed
+// accumulation order (bitwise deterministic for any thread count).
+#pragma once
+
+#include <vector>
+
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+class BlockedCooEngine final : public MttkrpEngine {
+ public:
+  /// `block_bits` = log2 of the block side (1..8; 8-bit local offsets).
+  explicit BlockedCooEngine(const CooTensor& tensor, unsigned block_bits = 7);
+
+  void compute(mode_t mode, const std::vector<Matrix>& factors,
+               Matrix& out) override;
+  std::string name() const override { return "bcoo"; }
+  std::size_t memory_bytes() const override;
+
+  nnz_t num_blocks() const noexcept { return block_base_.empty() ? 0 : block_ptr_.size() - 1; }
+  unsigned block_bits() const noexcept { return bits_; }
+
+ private:
+  struct ModePlan {
+    // Blocks grouped by their mode-m base: blocks perm[group_start[g] ..
+    // group_start[g+1]) all share base `bases[g]` in mode m.
+    std::vector<nnz_t> perm;
+    std::vector<index_t> bases;
+    std::vector<nnz_t> group_start;
+  };
+
+  unsigned bits_;
+  mode_t order_ = 0;
+  shape_t shape_;
+  // Block-level storage: bases are [block * order + m].
+  std::vector<index_t> block_base_;
+  std::vector<nnz_t> block_ptr_;  // nonzero ranges per block (size blocks+1)
+  // Nonzero-level storage (sorted by block): local offsets per mode + value.
+  std::vector<std::vector<std::uint8_t>> local_;  // [mode][nnz]
+  std::vector<real_t> vals_;
+  std::vector<ModePlan> plans_;  // one per mode
+};
+
+}  // namespace mdcp

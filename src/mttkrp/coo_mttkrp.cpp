@@ -1,0 +1,73 @@
+#include "mttkrp/coo_mttkrp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+CooMttkrpEngine::CooMttkrpEngine(const CooTensor& tensor) : tensor_(tensor) {
+  plans_.resize(tensor.order());
+  for (mode_t m = 0; m < tensor.order(); ++m) {
+    ModePlan& plan = plans_[m];
+    plan.perm.resize(tensor.nnz());
+    std::iota(plan.perm.begin(), plan.perm.end(), nnz_t{0});
+    const auto idx = tensor.mode_indices(m);
+    std::stable_sort(plan.perm.begin(), plan.perm.end(),
+                     [&](nnz_t a, nnz_t b) { return idx[a] < idx[b]; });
+    for (nnz_t i = 0; i < plan.perm.size(); ++i) {
+      const index_t row = idx[plan.perm[i]];
+      if (plan.rows.empty() || plan.rows.back() != row) {
+        plan.rows.push_back(row);
+        plan.row_start.push_back(i);
+      }
+    }
+    plan.row_start.push_back(plan.perm.size());
+  }
+}
+
+void CooMttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
+                              Matrix& out) {
+  const index_t r = check_factors(tensor_, factors);
+  MDCP_CHECK(mode < tensor_.order());
+  out.resize(tensor_.dim(mode), r, 0);
+
+  const ModePlan& plan = plans_[mode];
+  const mode_t order = tensor_.order();
+
+#pragma omp parallel
+  {
+    std::vector<real_t> tmp(r);
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t g = 0; g < static_cast<std::int64_t>(plan.rows.size());
+         ++g) {
+      auto orow = out.row(plan.rows[static_cast<std::size_t>(g)]);
+      for (nnz_t p = plan.row_start[static_cast<std::size_t>(g)];
+           p < plan.row_start[static_cast<std::size_t>(g) + 1]; ++p) {
+        const nnz_t i = plan.perm[p];
+        const real_t v = tensor_.value(i);
+        for (index_t k = 0; k < r; ++k) tmp[k] = v;
+        for (mode_t m = 0; m < order; ++m) {
+          if (m == mode) continue;
+          const auto frow = factors[m].row(tensor_.index(m, i));
+          for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
+        }
+        for (index_t k = 0; k < r; ++k) orow[k] += tmp[k];
+      }
+    }
+  }
+}
+
+std::size_t CooMttkrpEngine::memory_bytes() const {
+  std::size_t b = 0;
+  for (const auto& p : plans_) {
+    b += p.perm.size() * sizeof(nnz_t);
+    b += p.rows.size() * sizeof(index_t);
+    b += p.row_start.size() * sizeof(nnz_t);
+  }
+  return b;
+}
+
+}  // namespace mdcp

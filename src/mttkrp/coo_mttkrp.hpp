@@ -1,0 +1,42 @@
+// COO-direct MTTKRP engine.
+//
+// One pass over the nonzeros per output mode: for each nonzero, the value is
+// multiplied by the Hadamard product of the N-1 relevant factor rows and
+// accumulated into the output row — O(N·nnz·R) per mode, O(N²·nnz·R) per
+// CP-ALS iteration. No factoring, no memoization; this is the simplest
+// correct parallel kernel and the floor every optimized engine must beat.
+//
+// Parallelization: at construction we precompute, per mode, a permutation of
+// the nonzeros sorted by that mode's index together with row-group offsets.
+// Each thread owns a contiguous range of output rows, so accumulation is
+// atomics-free and bitwise deterministic for any thread count.
+#pragma once
+
+#include <vector>
+
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+class CooMttkrpEngine final : public MttkrpEngine {
+ public:
+  /// The tensor must outlive the engine.
+  explicit CooMttkrpEngine(const CooTensor& tensor);
+
+  void compute(mode_t mode, const std::vector<Matrix>& factors,
+               Matrix& out) override;
+  std::string name() const override { return "coo"; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  struct ModePlan {
+    std::vector<nnz_t> perm;       ///< nonzeros sorted by this mode's index
+    std::vector<index_t> rows;     ///< distinct row indices, ascending
+    std::vector<nnz_t> row_start;  ///< CSR offsets into perm, size rows+1
+  };
+
+  const CooTensor& tensor_;
+  std::vector<ModePlan> plans_;  // one per mode
+};
+
+}  // namespace mdcp

@@ -1,0 +1,41 @@
+#include "mttkrp/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+index_t check_factors(const CooTensor& tensor,
+                      const std::vector<Matrix>& factors) {
+  MDCP_CHECK_MSG(factors.size() == tensor.order(),
+                 "need one factor matrix per mode");
+  MDCP_CHECK_MSG(!factors.empty() && factors[0].cols() > 0,
+                 "factor matrices must have positive rank");
+  const index_t r = factors[0].cols();
+  for (mode_t m = 0; m < tensor.order(); ++m) {
+    MDCP_CHECK_MSG(factors[m].rows() == tensor.dim(m),
+                   "factor " << m << " row count " << factors[m].rows()
+                             << " != mode size " << tensor.dim(m));
+    MDCP_CHECK_MSG(factors[m].cols() == r, "factor ranks differ across modes");
+  }
+  return r;
+}
+
+void mttkrp_reference(const CooTensor& tensor,
+                      const std::vector<Matrix>& factors, mode_t mode,
+                      Matrix& out) {
+  const index_t r = check_factors(tensor, factors);
+  out.resize(tensor.dim(mode), r, 0);
+  for (nnz_t i = 0; i < tensor.nnz(); ++i) {
+    const index_t row = tensor.index(mode, i);
+    for (index_t k = 0; k < r; ++k) {
+      real_t prod = tensor.value(i);
+      for (mode_t m = 0; m < tensor.order(); ++m) {
+        if (m == mode) continue;
+        prod *= factors[m](tensor.index(m, i), k);
+      }
+      out(row, k) += prod;
+    }
+  }
+}
+
+}  // namespace mdcp

@@ -1,0 +1,61 @@
+// Abstract interface for MTTKRP computation engines.
+//
+// CP-ALS (and the benchmarks) are written against this interface so that the
+// COO baseline, the Tensor-Toolbox-style TTV chain, the SPLATT-style CSF
+// kernel, and the memoized dimension-tree engines are interchangeable — and
+// so the model-driven tuner can swap in whichever strategy it predicts to be
+// fastest.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+class MttkrpEngine {
+ public:
+  virtual ~MttkrpEngine() = default;
+
+  /// Computes out = MTTKRP(X, {factors}, mode): the matricized tensor in
+  /// `mode` times the Khatri–Rao product of all other factors. `out` is
+  /// resized to (dim(mode) × R). `factors` must contain one I_m×R matrix per
+  /// mode, all with the same column count R.
+  virtual void compute(mode_t mode, const std::vector<Matrix>& factors,
+                       Matrix& out) = 0;
+
+  /// Notifies the engine that factor matrix `mode` has changed since the
+  /// last compute() call. Engines that memoize partial products use this to
+  /// invalidate stale intermediates; stateless engines ignore it.
+  virtual void factor_updated(mode_t mode) { (void)mode; }
+
+  /// Drops all memoized state (stateless engines: no-op).
+  virtual void invalidate_all() {}
+
+  /// Engine identifier for logs and benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// Bytes of auxiliary structures currently held (index arrays, memoized
+  /// value matrices, CSF fibers, ...), excluding the input tensor itself.
+  virtual std::size_t memory_bytes() const { return 0; }
+
+  /// Peak bytes of auxiliary structures observed so far.
+  virtual std::size_t peak_memory_bytes() const { return memory_bytes(); }
+};
+
+/// Checks that the factor list is consistent with the tensor: one matrix per
+/// mode, rows match mode sizes, uniform column count. Returns R.
+index_t check_factors(const CooTensor& tensor,
+                      const std::vector<Matrix>& factors);
+
+/// Reference MTTKRP: direct quadratic-in-order evaluation straight from the
+/// definition, single-threaded. Used as the oracle in tests.
+void mttkrp_reference(const CooTensor& tensor,
+                      const std::vector<Matrix>& factors, mode_t mode,
+                      Matrix& out);
+
+}  // namespace mdcp

@@ -1,0 +1,108 @@
+#include "mttkrp/ttv_chain.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+namespace {
+
+// Working representation of a partially-contracted sparse tensor with scalar
+// values: the live (uncontracted) modes and one index array per live mode.
+struct WorkTensor {
+  std::vector<mode_t> live_modes;
+  std::vector<std::vector<index_t>> idx;  // aligned with live_modes
+  std::vector<real_t> vals;
+
+  nnz_t size() const { return vals.size(); }
+
+  // Contracts the live mode at position `pos` against vector entries
+  // u[index], then collapses duplicate remaining tuples by summing.
+  void ttv(std::size_t pos, const Matrix& factor, index_t column) {
+    for (nnz_t i = 0; i < size(); ++i)
+      vals[i] *= factor(idx[pos][i], column);
+    idx.erase(idx.begin() + static_cast<std::ptrdiff_t>(pos));
+    live_modes.erase(live_modes.begin() + static_cast<std::ptrdiff_t>(pos));
+    collapse();
+  }
+
+  void collapse() {
+    if (size() <= 1 || idx.empty()) {
+      if (idx.empty() && size() > 1) {
+        // Fully contracted: single scalar.
+        real_t s = 0;
+        for (real_t v : vals) s += v;
+        vals.assign(1, s);
+      }
+      return;
+    }
+    std::vector<nnz_t> perm(size());
+    std::iota(perm.begin(), perm.end(), nnz_t{0});
+    std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+      for (const auto& arr : idx) {
+        if (arr[a] != arr[b]) return arr[a] < arr[b];
+      }
+      return false;
+    });
+    const auto same = [&](nnz_t a, nnz_t b) {
+      for (const auto& arr : idx)
+        if (arr[a] != arr[b]) return false;
+      return true;
+    };
+    std::vector<std::vector<index_t>> nidx(idx.size());
+    std::vector<real_t> nvals;
+    for (nnz_t p = 0; p < size(); ++p) {
+      const nnz_t i = perm[p];
+      if (p > 0 && same(i, perm[p - 1])) {
+        nvals.back() += vals[i];
+      } else {
+        for (std::size_t m = 0; m < idx.size(); ++m)
+          nidx[m].push_back(idx[m][i]);
+        nvals.push_back(vals[i]);
+      }
+    }
+    idx = std::move(nidx);
+    vals = std::move(nvals);
+  }
+};
+
+}  // namespace
+
+void TtvChainEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
+                             Matrix& out) {
+  const index_t r = check_factors(tensor_, factors);
+  MDCP_CHECK(mode < tensor_.order());
+  out.resize(tensor_.dim(mode), r, 0);
+  const mode_t order = tensor_.order();
+
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t col = 0; col < static_cast<std::int64_t>(r); ++col) {
+    WorkTensor w;
+    w.live_modes.resize(order);
+    std::iota(w.live_modes.begin(), w.live_modes.end(), mode_t{0});
+    w.idx.resize(order);
+    for (mode_t m = 0; m < order; ++m) {
+      const auto src = tensor_.mode_indices(m);
+      w.idx[m].assign(src.begin(), src.end());
+    }
+    w.vals.assign(tensor_.values().begin(), tensor_.values().end());
+
+    // Contract every mode except the output mode, one TTV at a time.
+    for (mode_t m = 0; m < order; ++m) {
+      if (m == mode) continue;
+      const auto pos = static_cast<std::size_t>(
+          std::find(w.live_modes.begin(), w.live_modes.end(), m) -
+          w.live_modes.begin());
+      w.ttv(pos, factors[m], static_cast<index_t>(col));
+    }
+
+    // One live mode remains (== `mode`); its tuples are the output column.
+    for (nnz_t i = 0; i < w.size(); ++i)
+      out(w.idx[0][i], static_cast<index_t>(col)) += w.vals[i];
+  }
+}
+
+}  // namespace mdcp

@@ -1,0 +1,32 @@
+// Tensor-Toolbox-style MTTKRP: column-at-a-time TTV chains.
+//
+// The r-th output column is computed as X ×₁ u_r^(1) ⋯ ×ₙ₋₁ u_r^(n-1)
+// ×ₙ₊₁ u_r^(n+1) ⋯ — i.e. R independent chains of N-1 tensor-times-vector
+// multiplies, recomputed from scratch for every mode (R·N·(N-1) TTVs per
+// CP-ALS iteration). Each chain *does* shrink its intermediate by collapsing
+// duplicate projected indices, which is what historically made this scheme
+// viable in MATLAB — but nothing is shared across columns or modes.
+//
+// Included as the classical baseline: the dimension-tree engines are the
+// "memoize across modes + vectorize across columns" upgrade of exactly this
+// computation.
+#pragma once
+
+#include "mttkrp/engine.hpp"
+
+namespace mdcp {
+
+class TtvChainEngine final : public MttkrpEngine {
+ public:
+  /// The tensor must outlive the engine.
+  explicit TtvChainEngine(const CooTensor& tensor) : tensor_(tensor) {}
+
+  void compute(mode_t mode, const std::vector<Matrix>& factors,
+               Matrix& out) override;
+  std::string name() const override { return "ttv-chain"; }
+
+ private:
+  const CooTensor& tensor_;
+};
+
+}  // namespace mdcp

@@ -1,0 +1,41 @@
+#include "tensor/compact.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+CompactedTensor compact(const CooTensor& tensor) {
+  const mode_t order = tensor.order();
+  CompactedTensor out;
+  out.old_index.resize(order);
+
+  // Per mode: sorted unique used indices + dense old→new lookup.
+  std::vector<std::vector<index_t>> remap(order);
+  shape_t new_shape(order);
+  for (mode_t m = 0; m < order; ++m) {
+    auto& used = out.old_index[m];
+    const auto idx = tensor.mode_indices(m);
+    used.assign(idx.begin(), idx.end());
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    MDCP_CHECK_MSG(!used.empty(), "cannot compact an empty tensor");
+    new_shape[m] = static_cast<index_t>(used.size());
+
+    remap[m].assign(tensor.dim(m), kInvalidIndex);
+    for (index_t n = 0; n < used.size(); ++n) remap[m][used[n]] = n;
+  }
+
+  CooTensor compacted(new_shape);
+  compacted.reserve(tensor.nnz());
+  std::vector<index_t> c(order);
+  for (nnz_t i = 0; i < tensor.nnz(); ++i) {
+    for (mode_t m = 0; m < order; ++m) c[m] = remap[m][tensor.index(m, i)];
+    compacted.push_back(c, tensor.value(i));
+  }
+  out.tensor = std::move(compacted);
+  return out;
+}
+
+}  // namespace mdcp

@@ -1,0 +1,31 @@
+// Index compaction: relabels each mode so that only *used* indices remain.
+//
+// Real sparse tensors routinely have empty slices (unused ids in some mode).
+// Empty slices waste factor-matrix rows (memory + dense-update time) and the
+// dimension-tree theory assumes they were removed in preprocessing. The
+// mapping is retained so factor rows can be reported in the original id
+// space afterwards.
+#pragma once
+
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+struct CompactedTensor {
+  CooTensor tensor;  ///< same nonzeros, indices renumbered 0..used-1 per mode
+  /// old_index[m][new] = the original index in mode m; each is sorted
+  /// ascending, with size == compacted dim(m).
+  std::vector<std::vector<index_t>> old_index;
+
+  /// Maps a compacted mode-m index back to the original id.
+  index_t original(mode_t mode, index_t compacted) const {
+    return old_index[mode][compacted];
+  }
+};
+
+/// Removes empty slices in every mode. Value order is preserved.
+CompactedTensor compact(const CooTensor& tensor);
+
+}  // namespace mdcp

@@ -1,0 +1,169 @@
+#include "tensor/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+namespace {
+
+// Draws coordinates with `draw(m)` until ~nnz_target distinct tuples exist.
+template <typename DrawFn>
+CooTensor fill_tensor(const shape_t& shape, nnz_t nnz_target, Rng& rng,
+                      DrawFn&& draw) {
+  CooTensor t(shape);
+  t.reserve(nnz_target);
+  const auto order = static_cast<mode_t>(shape.size());
+  std::vector<index_t> c(order);
+  for (nnz_t i = 0; i < nnz_target; ++i) {
+    for (mode_t m = 0; m < order; ++m) c[m] = draw(m);
+    t.push_back(c, rng.next_real() + real_t{0.05});
+  }
+  t.coalesce();
+  return t;
+}
+
+}  // namespace
+
+CooTensor generate_uniform(const shape_t& shape, nnz_t nnz_target,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  return fill_tensor(shape, nnz_target, rng,
+                     [&](mode_t m) { return rng.next_index(shape[m]); });
+}
+
+CooTensor generate_zipf(const shape_t& shape, nnz_t nnz_target,
+                        double exponent, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(shape.size());
+  for (index_t d : shape) samplers.emplace_back(d, exponent);
+  // Scramble the Zipf ranks so "popular" indices are scattered across the
+  // index space rather than packed at 0 (matches anonymized real datasets).
+  std::vector<std::vector<index_t>> scramble(shape.size());
+  for (std::size_t m = 0; m < shape.size(); ++m) {
+    auto& s = scramble[m];
+    s.resize(shape[m]);
+    for (index_t i = 0; i < shape[m]; ++i) s[i] = i;
+    for (index_t i = shape[m]; i-- > 1;)
+      std::swap(s[i], s[rng.next_index(i + 1)]);
+  }
+  return fill_tensor(shape, nnz_target, rng, [&](mode_t m) {
+    return scramble[m][samplers[m].sample(rng)];
+  });
+}
+
+CooTensor generate_clustered(const shape_t& shape, nnz_t nnz_target,
+                             const ClusteredOptions& opt, std::uint64_t seed) {
+  MDCP_CHECK_MSG(opt.clusters > 0, "need at least one cluster");
+  Rng rng(seed);
+  const auto order = static_cast<mode_t>(shape.size());
+  std::vector<std::vector<index_t>> centers(opt.clusters);
+  for (index_t c = 0; c < opt.clusters; ++c) {
+    centers[c].resize(order);
+    for (mode_t m = 0; m < order; ++m)
+      centers[c][m] = rng.next_index(shape[m]);
+  }
+  // Geometric offsets around the chosen center.
+  const double p = 1.0 / (1.0 + opt.spread);
+  const auto geometric = [&]() -> index_t {
+    const double u = rng.next_real();
+    const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+    return static_cast<index_t>(std::min(g, 64.0));
+  };
+  index_t current = 0;
+  mode_t mode_cursor = 0;
+  return fill_tensor(shape, nnz_target, rng, [&](mode_t m) {
+    if (m == 0) current = rng.next_index(opt.clusters);
+    mode_cursor = m;
+    const index_t base = centers[current][mode_cursor];
+    const index_t off = geometric();
+    const index_t idx = (rng.next_u64() & 1) ? base + off
+                                             : (base >= off ? base - off : 0);
+    return std::min<index_t>(idx, shape[m] - 1);
+  });
+}
+
+PlantedTensor generate_planted(const shape_t& shape, index_t rank,
+                               nnz_t nnz_target, real_t noise,
+                               std::uint64_t seed) {
+  MDCP_CHECK(rank > 0);
+  Rng rng(seed);
+  PlantedTensor out;
+  out.weights.resize(rank);
+  for (auto& w : out.weights) w = 0.5 + rng.next_real();
+  out.factors.reserve(shape.size());
+  for (index_t d : shape) {
+    Matrix f = Matrix::random_uniform(d, rank, rng);
+    // Keep entries bounded away from zero so sampled values carry signal.
+    for (index_t i = 0; i < d; ++i)
+      for (index_t r = 0; r < rank; ++r) f(i, r) = 0.1 + 0.9 * f(i, r);
+    out.factors.push_back(std::move(f));
+  }
+
+  const auto order = static_cast<mode_t>(shape.size());
+  CooTensor t(shape);
+  t.reserve(nnz_target);
+  std::vector<index_t> c(order);
+  for (nnz_t i = 0; i < nnz_target; ++i) {
+    for (mode_t m = 0; m < order; ++m) c[m] = rng.next_index(shape[m]);
+    real_t v = 0;
+    for (index_t r = 0; r < rank; ++r) {
+      real_t prod = out.weights[r];
+      for (mode_t m = 0; m < order; ++m) prod *= out.factors[m](c[m], r);
+      v += prod;
+    }
+    v += noise * rng.next_normal();
+    t.push_back(c, v);
+  }
+  t.coalesce();
+  out.tensor = std::move(t);
+  return out;
+}
+
+PlantedTensor generate_planted_dense(const shape_t& shape, index_t rank,
+                                     real_t noise, std::uint64_t seed) {
+  double positions = 1;
+  for (index_t d : shape) positions *= static_cast<double>(d);
+  MDCP_CHECK_MSG(positions <= 1e7,
+                 "generate_planted_dense is for small grids (got "
+                     << positions << " positions)");
+
+  Rng rng(seed);
+  PlantedTensor out;
+  out.weights.resize(rank);
+  for (auto& w : out.weights) w = 0.5 + rng.next_real();
+  // Signed Gaussian factors: components are near-orthogonal in expectation,
+  // so ALS recovers them quickly (all-positive factors are nearly collinear
+  // and push ALS into its well-known "swamp" regime).
+  for (index_t d : shape)
+    out.factors.push_back(Matrix::random_normal(d, rank, rng));
+
+  const auto order = static_cast<mode_t>(shape.size());
+  CooTensor t(shape);
+  t.reserve(static_cast<nnz_t>(positions));
+  std::vector<index_t> c(order, 0);
+  // Odometer over every grid position.
+  while (true) {
+    real_t v = 0;
+    for (index_t r = 0; r < rank; ++r) {
+      real_t prod = out.weights[r];
+      for (mode_t m = 0; m < order; ++m) prod *= out.factors[m](c[m], r);
+      v += prod;
+    }
+    v += noise * rng.next_normal();
+    t.push_back(c, v);
+    mode_t m = 0;
+    for (; m < order; ++m) {
+      if (++c[m] < shape[m]) break;
+      c[m] = 0;
+    }
+    if (m == order) break;
+  }
+  out.tensor = std::move(t);
+  return out;
+}
+
+}  // namespace mdcp

@@ -1,0 +1,69 @@
+// Synthetic sparse tensor generators.
+//
+// These stand in for the real-world datasets used by the sparse-CP
+// literature (FROSTT-style tag/knowledge-base/EHR tensors), which are not
+// redistributable here. Each generator targets a distinct structural regime
+// that matters to memoized MTTKRP performance:
+//
+//  * uniform    — i.i.d. coordinates; essentially no index overlap after
+//                 contraction (worst case for memoization gains).
+//  * zipf       — per-mode Zipf-distributed coordinates; hub-dominated
+//                 structure typical of web/tagging data; strong overlap.
+//  * clustered  — nonzeros drawn around a small set of cluster centers with
+//                 geometric spread; controls overlap directly (the mechanism
+//                 behind the paper family's super-logarithmic speedups).
+//  * planted    — sparse sample of a ground-truth rank-R Kruskal tensor plus
+//                 noise; lets convergence tests verify factor recovery.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "util/rng.hpp"
+
+namespace mdcp {
+
+/// i.i.d. uniform coordinates, Uniform(0,1) values; duplicates coalesced so
+/// the result may contain slightly fewer than `nnz` entries.
+CooTensor generate_uniform(const shape_t& shape, nnz_t nnz_target,
+                           std::uint64_t seed);
+
+/// Zipf(exponent)-skewed coordinates in every mode.
+CooTensor generate_zipf(const shape_t& shape, nnz_t nnz_target,
+                        double exponent, std::uint64_t seed);
+
+struct ClusteredOptions {
+  index_t clusters = 64;   ///< number of cluster centers
+  double spread = 8.0;     ///< mean geometric offset from the center per mode
+};
+
+/// Cluster-structured coordinates: high index overlap under contraction.
+CooTensor generate_clustered(const shape_t& shape, nnz_t nnz_target,
+                             const ClusteredOptions& opt, std::uint64_t seed);
+
+struct PlantedTensor {
+  CooTensor tensor;             ///< noisy sparse sample of the model
+  std::vector<Matrix> factors;  ///< ground-truth factors (nonnegative)
+  std::vector<real_t> weights;  ///< ground-truth component weights
+};
+
+/// Samples `nnz` positions uniformly and fills them with the value of a
+/// random nonnegative rank-`rank` Kruskal model at that position, plus
+/// Gaussian noise of the given relative magnitude.
+///
+/// NOTE: the *masked* tensor is not itself low-rank — sparse CP-ALS treats
+/// unstored positions as true zeros. Use this as a realistic workload, and
+/// `generate_planted_dense` when a recoverable ground truth is needed.
+PlantedTensor generate_planted(const shape_t& shape, index_t rank,
+                               nnz_t nnz_target, real_t noise,
+                               std::uint64_t seed);
+
+/// Evaluates a random rank-`rank` Kruskal model at *every* position of a
+/// small grid (prod(shape) entries — keep it modest). The result is exactly
+/// rank-`rank` (plus noise), so CP-ALS at the same rank can drive the fit
+/// to ~1. Used by convergence/recovery tests and examples.
+PlantedTensor generate_planted_dense(const shape_t& shape, index_t rank,
+                                     real_t noise, std::uint64_t seed);
+
+}  // namespace mdcp

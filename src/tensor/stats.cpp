@@ -1,0 +1,88 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+std::string TensorStats::to_string() const {
+  std::ostringstream os;
+  os << "shape=";
+  for (std::size_t m = 0; m < shape.size(); ++m) {
+    if (m) os << 'x';
+    os << shape[m];
+  }
+  os << " nnz=" << nnz << " density=" << density << " distinct=[";
+  for (std::size_t m = 0; m < distinct_per_mode.size(); ++m) {
+    if (m) os << ',';
+    os << distinct_per_mode[m];
+  }
+  os << ']';
+  return os.str();
+}
+
+TensorStats compute_stats(const CooTensor& t) {
+  TensorStats s;
+  s.shape = t.shape();
+  s.nnz = t.nnz();
+  s.density = t.logical_size() > 0
+                  ? static_cast<double>(t.nnz()) / t.logical_size()
+                  : 0;
+  s.distinct_per_mode.resize(t.order());
+  s.avg_slice_nnz.resize(t.order());
+  for (mode_t m = 0; m < t.order(); ++m) {
+    s.distinct_per_mode[m] = t.distinct_in_mode(m);
+    s.avg_slice_nnz[m] =
+        s.distinct_per_mode[m] > 0
+            ? static_cast<double>(t.nnz()) / s.distinct_per_mode[m]
+            : 0;
+  }
+  return s;
+}
+
+nnz_t distinct_projection_count(const CooTensor& t, mode_set_t modes) {
+  std::vector<mode_t> mlist;
+  for (mode_t m = 0; m < t.order(); ++m)
+    if (mode_in(modes, m)) mlist.push_back(m);
+  if (mlist.empty()) return t.nnz() > 0 ? 1 : 0;
+
+  auto perm = t.sorted_permutation(mlist);
+  nnz_t count = t.nnz() > 0 ? 1 : 0;
+  for (nnz_t i = 1; i < perm.size(); ++i) {
+    for (mode_t m : mlist) {
+      if (t.index(m, perm[i]) != t.index(m, perm[i - 1])) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<nnz_t> prefix_fiber_counts(const CooTensor& t,
+                                       std::span<const mode_t> mode_order) {
+  MDCP_CHECK(mode_order.size() == t.order());
+  auto perm = t.sorted_permutation(mode_order);
+  std::vector<nnz_t> fibers(t.order(), 0);
+  if (t.nnz() == 0) return fibers;
+  for (mode_t l = 0; l < t.order(); ++l) fibers[l] = 1;
+  for (nnz_t i = 1; i < perm.size(); ++i) {
+    // Find the first level at which this tuple differs from its predecessor;
+    // it opens a new fiber at that level and at every deeper level.
+    mode_t first_diff = t.order();
+    for (mode_t l = 0; l < t.order(); ++l) {
+      const mode_t m = mode_order[l];
+      if (t.index(m, perm[i]) != t.index(m, perm[i - 1])) {
+        first_diff = l;
+        break;
+      }
+    }
+    for (mode_t l = first_diff; l < t.order(); ++l) ++fibers[l];
+  }
+  return fibers;
+}
+
+}  // namespace mdcp

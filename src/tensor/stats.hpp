@@ -1,0 +1,41 @@
+// Structural statistics of a sparse tensor.
+//
+// These feed three consumers: the dataset table (experiment T1), the CSF
+// mode-ordering heuristic, and the model-driven tuner's cost model (which
+// needs distinct-projection counts to predict memoized intermediate sizes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "util/types.hpp"
+
+namespace mdcp {
+
+struct TensorStats {
+  shape_t shape;
+  nnz_t nnz = 0;
+  double density = 0;  ///< nnz / prod(shape)
+  std::vector<index_t> distinct_per_mode;  ///< used indices per mode
+  /// Average nonzeros per used slice in each mode (nnz / distinct).
+  std::vector<double> avg_slice_nnz;
+
+  std::string to_string() const;
+};
+
+TensorStats compute_stats(const CooTensor& t);
+
+/// Number of distinct projected tuples when the tensor's nonzeros are
+/// restricted to the modes in `modes` (bitmask). This is exactly the number
+/// of "kept" nonzeros of the dimension-tree node with mode set `modes`, i.e.
+/// the size of the memoized intermediate.
+nnz_t distinct_projection_count(const CooTensor& t, mode_set_t modes);
+
+/// Fiber counts for a CSF mode ordering: fibers[l] = number of distinct
+/// length-(l+1) prefixes of the coordinates reordered by `mode_order`.
+/// fibers.back() == nnz (all tuples distinct after coalescing).
+std::vector<nnz_t> prefix_fiber_counts(const CooTensor& t,
+                                       std::span<const mode_t> mode_order);
+
+}  // namespace mdcp

@@ -1,0 +1,93 @@
+#include "tensor/tensor_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+namespace {
+
+struct ParsedLine {
+  std::vector<index_t> coords;
+  real_t value = 0;
+};
+
+// Parses "i1 i2 ... iN v"; returns false for blank/comment lines.
+bool parse_line(const std::string& line, ParsedLine& out) {
+  std::size_t pos = line.find_first_not_of(" \t\r");
+  if (pos == std::string::npos || line[pos] == '#') return false;
+  std::istringstream is(line);
+  out.coords.clear();
+  std::vector<double> fields;
+  double x;
+  while (is >> x) fields.push_back(x);
+  MDCP_CHECK_MSG(fields.size() >= 2,
+                 "malformed .tns line (needs >=1 index + value): " << line);
+  for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
+    MDCP_CHECK_MSG(fields[i] >= 1, "1-based .tns index must be >= 1");
+    out.coords.push_back(static_cast<index_t>(fields[i]) - 1);
+  }
+  out.value = static_cast<real_t>(fields.back());
+  return true;
+}
+
+}  // namespace
+
+CooTensor read_tns(std::istream& in, const shape_t& shape_hint) {
+  std::vector<ParsedLine> lines;
+  std::string line;
+  ParsedLine parsed;
+  std::size_t arity = 0;
+  while (std::getline(in, line)) {
+    if (!parse_line(line, parsed)) continue;
+    if (arity == 0) {
+      arity = parsed.coords.size();
+    } else {
+      MDCP_CHECK_MSG(parsed.coords.size() == arity,
+                     "inconsistent arity in .tns stream");
+    }
+    lines.push_back(parsed);
+  }
+  MDCP_CHECK_MSG(arity > 0, ".tns stream contains no nonzeros");
+
+  shape_t shape = shape_hint;
+  if (shape.empty()) {
+    shape.assign(arity, 0);
+    for (const auto& l : lines)
+      for (std::size_t m = 0; m < arity; ++m)
+        shape[m] = std::max(shape[m], l.coords[m] + 1);
+  } else {
+    MDCP_CHECK_MSG(shape.size() == arity, "shape hint arity mismatch");
+  }
+
+  CooTensor t(shape);
+  t.reserve(lines.size());
+  for (const auto& l : lines) t.push_back(l.coords, l.value);
+  return t;
+}
+
+CooTensor read_tns_file(const std::string& path, const shape_t& shape_hint) {
+  std::ifstream f(path);
+  MDCP_CHECK_MSG(f.good(), "cannot open tensor file: " << path);
+  return read_tns(f, shape_hint);
+}
+
+void write_tns(std::ostream& out, const CooTensor& tensor) {
+  out.precision(17);
+  for (nnz_t i = 0; i < tensor.nnz(); ++i) {
+    for (mode_t m = 0; m < tensor.order(); ++m)
+      out << (tensor.index(m, i) + 1) << ' ';
+    out << tensor.value(i) << '\n';
+  }
+}
+
+void write_tns_file(const std::string& path, const CooTensor& tensor) {
+  std::ofstream f(path);
+  MDCP_CHECK_MSG(f.good(), "cannot open tensor file for writing: " << path);
+  write_tns(f, tensor);
+}
+
+}  // namespace mdcp

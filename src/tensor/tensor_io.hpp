@@ -1,0 +1,26 @@
+// Text I/O for sparse tensors in the FROSTT `.tns` format:
+// one nonzero per line, 1-based indices followed by the value, plus optional
+// `#`-comment lines. This is the de-facto interchange format of the sparse
+// tensor community (SPLATT, ParTI, FROSTT all read it).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+/// Reads a .tns stream. The shape is inferred as the per-mode maximum index
+/// unless `shape_hint` is nonempty (then indices are validated against it).
+CooTensor read_tns(std::istream& in, const shape_t& shape_hint = {});
+
+/// Reads a .tns file from disk.
+CooTensor read_tns_file(const std::string& path, const shape_t& shape_hint = {});
+
+/// Writes the tensor in .tns format (1-based indices).
+void write_tns(std::ostream& out, const CooTensor& tensor);
+
+void write_tns_file(const std::string& path, const CooTensor& tensor);
+
+}  // namespace mdcp

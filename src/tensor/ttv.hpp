@@ -1,0 +1,48 @@
+// Standalone sparse tensor contractions: tensor-times-vector (TTV) and
+// tensor-times-matrix returning a semi-sparse tensor (TTM).
+//
+// These are the primitive operations the memoized engines fuse internally;
+// they are exposed publicly because downstream users of a sparse-tensor
+// library expect them (Tensor-Toolbox-style composition, ad-hoc analyses,
+// debugging memoized intermediates).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp {
+
+/// Y = X ×ₘ v: contracts mode m against the vector (size dim(m)). The result
+/// keeps X's other modes with mode m's size collapsed to 1 (index 0), and
+/// duplicate surviving tuples are summed. Tuples whose contracted value is
+/// exactly zero are retained (callers may prune()).
+CooTensor ttv(const CooTensor& x, mode_t mode, std::span<const real_t> v);
+
+/// Semi-sparse tensor: the projection of a sparse tensor onto a subset of
+/// modes, with a dense length-R value vector per surviving tuple. This is
+/// the "partially contracted" object memoized by the dimension-tree engine,
+/// exposed as a first-class value.
+struct SemiSparseTensor {
+  std::vector<mode_t> modes;               ///< surviving modes, ascending
+  std::vector<std::vector<index_t>> idx;   ///< [pos in modes][tuple]
+  Matrix values;                           ///< tuples × R
+
+  nnz_t tuples() const noexcept { return values.rows(); }
+};
+
+/// Z = X ×ₘ Uᵀ in the Khatri–Rao sense: for each column r of U (dim(m)×R),
+/// contracts mode m against U(:,r); all R results share the projected
+/// sparsity and are stored as one semi-sparse tensor. Equivalent to one
+/// dimension-tree TTMV step.
+SemiSparseTensor ttm(const CooTensor& x, mode_t mode, const Matrix& u);
+
+/// Full-precision check helper: the value of Z at a given projected tuple
+/// position (by linear tuple id) for column r.
+inline real_t semi_sparse_value(const SemiSparseTensor& z, nnz_t tuple,
+                                index_t r) {
+  return z.values(static_cast<index_t>(tuple), r);
+}
+
+}  // namespace mdcp

@@ -1,0 +1,44 @@
+// Error-reporting helpers: fail fast with a precise message instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mdcp {
+
+/// Exception thrown by all mdcp precondition violations.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "mdcp check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mdcp
+
+/// Precondition check that is always on (not assert): tensor code dies loudly
+/// on malformed input rather than corrupting memory.
+#define MDCP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mdcp::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MDCP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream mdcp_os_;                                           \
+      mdcp_os_ << msg;                                                       \
+      ::mdcp::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                          mdcp_os_.str());                   \
+    }                                                                        \
+  } while (0)

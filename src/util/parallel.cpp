@@ -1,0 +1,32 @@
+#include "util/parallel.hpp"
+
+#include <omp.h>
+
+namespace mdcp {
+
+namespace {
+int g_thread_override = 0;  // 0 = use OpenMP default
+}
+
+int num_threads() noexcept {
+  return g_thread_override > 0 ? g_thread_override : omp_get_max_threads();
+}
+
+void set_num_threads(int n) noexcept {
+  g_thread_override = n;
+  if (n > 0) omp_set_num_threads(n);
+}
+
+int thread_id() noexcept { return omp_get_thread_num(); }
+
+Range chunk_range(nnz_t n, int parts, int p) noexcept {
+  if (parts <= 0) return {0, n};
+  const nnz_t base = n / static_cast<nnz_t>(parts);
+  const nnz_t rem = n % static_cast<nnz_t>(parts);
+  const auto pu = static_cast<nnz_t>(p);
+  const nnz_t begin = pu * base + (pu < rem ? pu : rem);
+  const nnz_t len = base + (pu < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace mdcp

@@ -1,0 +1,52 @@
+// Thin OpenMP facade.
+//
+// Central place for thread-count control so benchmarks can sweep thread
+// counts without touching environment variables, and so the library still
+// compiles (serially) if OpenMP were ever unavailable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace mdcp {
+
+/// Number of threads mdcp kernels will use (defaults to OpenMP's default).
+int num_threads() noexcept;
+
+/// Override the number of threads used by all subsequent mdcp kernels.
+void set_num_threads(int n) noexcept;
+
+/// Index of the calling thread inside an mdcp parallel region (0 outside).
+int thread_id() noexcept;
+
+/// Splits [0, n) into `parts` contiguous chunks and returns chunk `p` as
+/// [begin, end). Chunks differ in size by at most one element.
+struct Range {
+  nnz_t begin;
+  nnz_t end;
+};
+Range chunk_range(nnz_t n, int parts, int p) noexcept;
+
+/// Runs fn(i) for i in [0, n) with OpenMP static scheduling.
+template <typename Fn>
+void parallel_for(nnz_t n, Fn&& fn) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    fn(static_cast<nnz_t>(i));
+  }
+}
+
+/// Runs fn(i) with dynamic scheduling (irregular per-iteration work, e.g.
+/// reduction sets of wildly varying size).
+template <typename Fn>
+void parallel_for_dynamic(nnz_t n, Fn&& fn, nnz_t grain = 64) {
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    fn(static_cast<nnz_t>(i));
+  }
+  (void)grain;
+}
+
+}  // namespace mdcp

@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mdcp {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    sm = splitmix64(sm);
+    s = sm;
+  }
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+real_t Rng::next_normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  real_t u1 = next_real();
+  while (u1 <= 0) u1 = next_real();
+  const real_t u2 = next_real();
+  const real_t mag = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+ZipfSampler::ZipfSampler(index_t n, double exponent) : n_(n) {
+  MDCP_CHECK_MSG(n > 0, "Zipf universe must be nonempty");
+  MDCP_CHECK_MSG(exponent >= 0, "Zipf exponent must be nonnegative");
+  cdf_.resize(n);
+  double acc = 0;
+  for (index_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent);
+    cdf_[i] = acc;
+  }
+  const double inv = 1.0 / acc;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against round-off
+}
+
+index_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_real();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return static_cast<index_t>(lo);
+}
+
+}  // namespace mdcp

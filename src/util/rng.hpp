@@ -1,0 +1,68 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component of mdcp (synthetic tensor generators, factor
+// initialization, sampling sketches) draws from these generators with an
+// explicit seed, so all experiments are bitwise reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace mdcp {
+
+/// SplitMix64: used to seed xoshiro and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — high-quality 64-bit generator (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  real_t next_real() noexcept {
+    return static_cast<real_t>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform index in [0, bound).
+  index_t next_index(index_t bound) noexcept {
+    return static_cast<index_t>(next_below(bound));
+  }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  real_t next_normal() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  real_t cached_normal_ = 0;
+  bool has_cached_normal_ = false;
+};
+
+/// Draws from a Zipf(s) distribution over {0, .., n-1} using inverse-CDF on a
+/// precomputed table. Used to synthesize realistically skewed tensor modes.
+class ZipfSampler {
+ public:
+  ZipfSampler(index_t n, double exponent);
+
+  index_t sample(Rng& rng) const;
+  index_t universe() const noexcept { return n_; }
+
+ private:
+  index_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mdcp

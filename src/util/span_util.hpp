@@ -1,0 +1,33 @@
+// Small helpers over std::span used across kernels.
+#pragma once
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mdcp {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). out has size in.size()+1
+/// with out.back() == total. Used to build CSR-style offset arrays.
+template <typename T>
+std::vector<T> exclusive_scan_with_total(std::span<const T> in) {
+  std::vector<T> out(in.size() + 1);
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  out[in.size()] = acc;
+  return out;
+}
+
+/// Identity permutation [0, n).
+inline std::vector<nnz_t> identity_permutation(nnz_t n) {
+  std::vector<nnz_t> p(n);
+  std::iota(p.begin(), p.end(), nnz_t{0});
+  return p;
+}
+
+}  // namespace mdcp

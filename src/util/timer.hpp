@@ -1,0 +1,50 @@
+// Wall-clock timing utilities for benchmarks and CP-ALS phase dissection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mdcp {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across repeated start/stop intervals; used to dissect a
+/// CP-ALS iteration into MTTKRP / dense-update / fit phases.
+class PhaseTimer {
+ public:
+  void start() noexcept { t_.reset(); }
+  void stop() noexcept {
+    total_ += t_.seconds();
+    ++count_;
+  }
+  double total_seconds() const noexcept { return total_; }
+  std::uint64_t count() const noexcept { return count_; }
+  void clear() noexcept {
+    total_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  WallTimer t_;
+  double total_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace mdcp

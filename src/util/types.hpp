@@ -1,0 +1,53 @@
+// Core scalar and index types shared by every mdcp module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mdcp {
+
+/// Floating-point type used for all tensor values and factor matrices.
+using real_t = double;
+
+/// Index type for coordinates within a single tensor mode.
+/// 32 bits covers mode sizes up to ~4.29e9, which exceeds every published
+/// sparse-tensor dataset while halving index-array memory traffic.
+using index_t = std::uint32_t;
+
+/// Type for counting nonzeros / tuple positions (may exceed 2^32).
+using nnz_t = std::uint64_t;
+
+/// Mode identifier (tensor order N is small, <= 64 in practice).
+using mode_t = std::uint16_t;
+
+/// Sentinel for "no index".
+inline constexpr index_t kInvalidIndex = std::numeric_limits<index_t>::max();
+
+/// Maximum supported tensor order. A compile-time bound lets hot kernels use
+/// small fixed-size stack buffers instead of heap allocation per tuple.
+inline constexpr mode_t kMaxOrder = 16;
+
+/// A set of modes represented as a bitmask (order <= kMaxOrder <= 16 bits
+/// fits easily in 32). Bit n set means mode n belongs to the set.
+using mode_set_t = std::uint32_t;
+
+/// Convenience: bitmask with the low `n` bits set (all modes of an order-n
+/// tensor).
+constexpr mode_set_t all_modes(mode_t n) noexcept {
+  return (n >= 32) ? ~mode_set_t{0} : ((mode_set_t{1} << n) - 1u);
+}
+
+constexpr bool mode_in(mode_set_t set, mode_t m) noexcept {
+  return (set >> m) & 1u;
+}
+
+constexpr int mode_count(mode_set_t set) noexcept {
+  return __builtin_popcount(set);
+}
+
+/// Shape of a tensor: size of each mode.
+using shape_t = std::vector<index_t>;
+
+}  // namespace mdcp

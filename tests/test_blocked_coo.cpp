@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mttkrp/blocked_coo.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "tensor/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+using mdcp::testing::random_factors;
+
+TEST(BlockedCoo, MatchesReferenceEveryMode) {
+  const auto t = generate_zipf(shape_t{300, 400, 500, 600}, 3000, 1.1, 81);
+  BlockedCooEngine engine(t);
+  const auto factors = random_factors(t, 6, 82);
+  Matrix got, want;
+  for (mode_t m = 0; m < t.order(); ++m) {
+    engine.compute(m, factors, got);
+    mttkrp_reference(t, factors, m, want);
+    EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-9) << "mode " << m;
+  }
+}
+
+class BlockedCooBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BlockedCooBits, ExactAtEveryBlockSize) {
+  const auto t = generate_clustered(shape_t{200, 200, 200}, 1500,
+                                    {.clusters = 8, .spread = 3.0}, 83);
+  BlockedCooEngine engine(t, GetParam());
+  EXPECT_EQ(engine.block_bits(), GetParam());
+  const auto factors = random_factors(t, 4, 84);
+  Matrix got, want;
+  engine.compute(1, factors, got);
+  mttkrp_reference(t, factors, 1, want);
+  EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBits, BlockedCooBits,
+                         ::testing::Values(1u, 3u, 5u, 7u, 8u));
+
+TEST(BlockedCoo, RejectsInvalidBlockBits) {
+  const auto t = generate_uniform(shape_t{10, 10}, 30, 85);
+  EXPECT_THROW(BlockedCooEngine(t, 0), error);
+  EXPECT_THROW(BlockedCooEngine(t, 9), error);
+}
+
+TEST(BlockedCoo, BlockCountBounds) {
+  // Clustered data packs into far fewer blocks than nonzeros.
+  const auto t = generate_clustered(shape_t{4000, 4000, 4000}, 8000,
+                                    {.clusters = 16, .spread = 2.0}, 87);
+  BlockedCooEngine engine(t, 7);
+  EXPECT_GE(engine.num_blocks(), 16u);
+  EXPECT_LT(engine.num_blocks(), t.nnz() / 4);
+}
+
+TEST(BlockedCoo, IndexMemorySmallerThanCooPlans) {
+  const auto t = generate_clustered(shape_t{5000, 5000, 5000, 5000}, 20000,
+                                    {.clusters = 32, .spread = 3.0}, 89);
+  BlockedCooEngine bcoo(t);
+  CooMttkrpEngine coo(t);
+  EXPECT_LT(bcoo.memory_bytes(), coo.memory_bytes());
+}
+
+TEST(BlockedCoo, SmallDimsSingleBlockDegenerate) {
+  // Tensor smaller than one block in every mode: one block, pure-local
+  // offsets — the degenerate case must still be exact.
+  const auto t = generate_uniform(shape_t{8, 8, 8}, 60, 91);
+  BlockedCooEngine engine(t, 8);
+  EXPECT_EQ(engine.num_blocks(), 1u);
+  const auto factors = random_factors(t, 3, 92);
+  Matrix got, want;
+  engine.compute(2, factors, got);
+  mttkrp_reference(t, factors, 2, want);
+  EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-12);
+}
+
+TEST(BlockedCoo, BoundaryIndicesAtBlockEdges) {
+  // Indices exactly at multiples of the block side exercise the base/local
+  // split arithmetic.
+  CooTensor t(shape_t{512, 512, 512});
+  for (index_t i : {0u, 127u, 128u, 255u, 256u, 511u}) {
+    t.push_back(std::array<index_t, 3>{i, 511u - i, (i * 2) % 512}, 1.0 + i);
+  }
+  t.coalesce();
+  BlockedCooEngine engine(t, 7);
+  const auto factors = random_factors(t, 4, 93);
+  Matrix got, want;
+  for (mode_t m = 0; m < 3; ++m) {
+    engine.compute(m, factors, got);
+    mttkrp_reference(t, factors, m, want);
+    EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-12) << "mode " << m;
+  }
+}
+
+}  // namespace
+}  // namespace mdcp

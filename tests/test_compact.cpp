@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "tensor/compact.hpp"
+#include "tensor/generator.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+TEST(Compact, RemovesEmptySlices) {
+  CooTensor t(shape_t{10, 10});
+  t.push_back(std::array<index_t, 2>{2, 9}, 1.0);
+  t.push_back(std::array<index_t, 2>{7, 0}, 2.0);
+  const auto c = compact(t);
+  EXPECT_EQ(c.tensor.dim(0), 2u);
+  EXPECT_EQ(c.tensor.dim(1), 2u);
+  EXPECT_EQ(c.tensor.nnz(), 2u);
+  // Nonzero order preserved; values intact.
+  EXPECT_DOUBLE_EQ(c.tensor.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.tensor.value(1), 2.0);
+}
+
+TEST(Compact, MappingRoundTrips) {
+  CooTensor t(shape_t{100, 50, 20});
+  t.push_back(std::array<index_t, 3>{42, 13, 19}, 1.0);
+  t.push_back(std::array<index_t, 3>{99, 13, 0}, 2.0);
+  const auto c = compact(t);
+  std::array<index_t, 3> nc{};
+  for (nnz_t i = 0; i < c.tensor.nnz(); ++i) {
+    c.tensor.coords(i, nc);
+    for (mode_t m = 0; m < 3; ++m) {
+      EXPECT_EQ(c.original(m, nc[m]), t.index(m, i)) << "mode " << m;
+    }
+  }
+}
+
+TEST(Compact, NoopWhenAllIndicesUsed) {
+  CooTensor t(shape_t{2, 2});
+  t.push_back(std::array<index_t, 2>{0, 0}, 1.0);
+  t.push_back(std::array<index_t, 2>{1, 1}, 2.0);
+  const auto c = compact(t);
+  EXPECT_EQ(c.tensor, t);
+}
+
+TEST(Compact, PreservesNormAndNnz) {
+  const auto t = generate_zipf(shape_t{5000, 5000, 5000}, 2000, 1.4, 91);
+  const auto c = compact(t);
+  EXPECT_EQ(c.tensor.nnz(), t.nnz());
+  EXPECT_DOUBLE_EQ(c.tensor.norm(), t.norm());
+  for (mode_t m = 0; m < 3; ++m)
+    EXPECT_EQ(c.tensor.dim(m), t.distinct_in_mode(m));
+  c.tensor.validate();
+}
+
+TEST(Compact, OldIndexSortedAscending) {
+  const auto t = generate_uniform(shape_t{300, 300}, 150, 93);
+  const auto c = compact(t);
+  for (mode_t m = 0; m < 2; ++m) {
+    for (std::size_t i = 1; i < c.old_index[m].size(); ++i)
+      EXPECT_LT(c.old_index[m][i - 1], c.old_index[m][i]);
+  }
+}
+
+TEST(Compact, EmptyTensorThrows) {
+  CooTensor t(shape_t{4, 4});
+  EXPECT_THROW(compact(t), error);
+}
+
+}  // namespace
+}  // namespace mdcp

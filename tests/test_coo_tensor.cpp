@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "tensor/coo_tensor.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+CooTensor make_example() {
+  // 3x4x2 tensor with 4 nonzeros.
+  CooTensor t(shape_t{3, 4, 2});
+  t.push_back(std::array<index_t, 3>{0, 1, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{2, 3, 1}, 2.0);
+  t.push_back(std::array<index_t, 3>{1, 0, 0}, -3.0);
+  t.push_back(std::array<index_t, 3>{2, 1, 1}, 0.5);
+  return t;
+}
+
+TEST(CooTensor, BasicAccessors) {
+  const auto t = make_example();
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 4u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 4u);
+  EXPECT_EQ(t.dim(2), 2u);
+  EXPECT_DOUBLE_EQ(t.logical_size(), 24.0);
+  EXPECT_EQ(t.index(0, 1), 2u);
+  EXPECT_DOUBLE_EQ(t.value(2), -3.0);
+}
+
+TEST(CooTensor, CoordsRoundTrip) {
+  const auto t = make_example();
+  std::array<index_t, 3> c{};
+  t.coords(1, c);
+  EXPECT_EQ(c[0], 2u);
+  EXPECT_EQ(c[1], 3u);
+  EXPECT_EQ(c[2], 1u);
+}
+
+TEST(CooTensor, PushRejectsOutOfRange) {
+  CooTensor t(shape_t{2, 2});
+  EXPECT_THROW(t.push_back(std::array<index_t, 2>{2, 0}, 1.0), error);
+  EXPECT_THROW(t.push_back(std::array<index_t, 1>{0}, 1.0), error);
+}
+
+TEST(CooTensor, RejectsEmptyShape) { EXPECT_THROW(CooTensor(shape_t{}), error); }
+
+TEST(CooTensor, RejectsZeroDim) {
+  EXPECT_THROW(CooTensor(shape_t{3, 0}), error);
+}
+
+TEST(CooTensor, SortByModesLexicographic) {
+  auto t = make_example();
+  const std::array<mode_t, 3> order{0, 1, 2};
+  t.sort_by_modes(order);
+  for (nnz_t i = 1; i < t.nnz(); ++i) {
+    EXPECT_FALSE(t.tuple_less(i, i - 1, order));
+  }
+  // First tuple should be (0,1,0).
+  EXPECT_EQ(t.index(0, 0), 0u);
+  EXPECT_EQ(t.index(1, 0), 1u);
+}
+
+TEST(CooTensor, SortBySecondaryModeOrder) {
+  auto t = make_example();
+  const std::array<mode_t, 3> order{2, 0, 1};
+  t.sort_by_modes(order);
+  for (nnz_t i = 1; i < t.nnz(); ++i)
+    EXPECT_FALSE(t.tuple_less(i, i - 1, order));
+  EXPECT_EQ(t.index(2, 0), 0u);  // mode-2 index dominates
+}
+
+TEST(CooTensor, CoalesceMergesDuplicates) {
+  CooTensor t(shape_t{2, 2});
+  t.push_back(std::array<index_t, 2>{0, 1}, 1.0);
+  t.push_back(std::array<index_t, 2>{1, 0}, 2.0);
+  t.push_back(std::array<index_t, 2>{0, 1}, 3.0);
+  t.coalesce();
+  EXPECT_EQ(t.nnz(), 2u);
+  // Sorted: (0,1)=4, (1,0)=2.
+  EXPECT_DOUBLE_EQ(t.value(0), 4.0);
+  EXPECT_DOUBLE_EQ(t.value(1), 2.0);
+}
+
+TEST(CooTensor, CoalesceEmptyIsNoop) {
+  CooTensor t(shape_t{2, 2});
+  t.coalesce();
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(CooTensor, PruneDropsSmallValues) {
+  CooTensor t(shape_t{4});
+  t.push_back(std::array<index_t, 1>{0}, 1.0);
+  t.push_back(std::array<index_t, 1>{1}, 0.0);
+  t.push_back(std::array<index_t, 1>{2}, -2.0);
+  t.push_back(std::array<index_t, 1>{3}, 1e-12);
+  t.prune(1e-9);
+  EXPECT_EQ(t.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value(1), -2.0);
+}
+
+TEST(CooTensor, NormMatchesDefinition) {
+  const auto t = make_example();
+  EXPECT_DOUBLE_EQ(t.norm(), std::sqrt(1.0 + 4.0 + 9.0 + 0.25));
+}
+
+TEST(CooTensor, DistinctInMode) {
+  const auto t = make_example();
+  EXPECT_EQ(t.distinct_in_mode(0), 3u);  // {0,1,2}
+  EXPECT_EQ(t.distinct_in_mode(1), 3u);  // {0,1,3}
+  EXPECT_EQ(t.distinct_in_mode(2), 2u);  // {0,1}
+}
+
+TEST(CooTensor, ApplyPermutationReorders) {
+  auto t = make_example();
+  const std::vector<nnz_t> perm{3, 2, 1, 0};
+  t.apply_permutation(perm);
+  EXPECT_DOUBLE_EQ(t.value(0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value(3), 1.0);
+  EXPECT_EQ(t.index(0, 0), 2u);
+}
+
+TEST(CooTensor, ValidatePassesOnGoodTensor) {
+  EXPECT_NO_THROW(make_example().validate());
+}
+
+TEST(CooTensor, SummaryMentionsShapeAndNnz) {
+  const auto s = make_example().summary();
+  EXPECT_NE(s.find("3x4x2"), std::string::npos);
+  EXPECT_NE(s.find("nnz=4"), std::string::npos);
+}
+
+TEST(CooTensor, EqualityComparesEverything) {
+  const auto a = make_example();
+  auto b = make_example();
+  EXPECT_EQ(a, b);
+  b.value(0) += 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace mdcp

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "csf/csf_one_mttkrp.hpp"
+#include "tensor/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+using mdcp::testing::random_factors;
+
+TEST(CsfOne, MatchesReferenceEveryModeAndLevel) {
+  // Explicit natural mode order so all three kernel cases are exercised:
+  // root (level 0), internal (levels 1..N-2), leaf (level N-1).
+  const auto t = generate_zipf(shape_t{25, 30, 35, 40}, 1500, 1.1, 71);
+  CsfOneMttkrpEngine engine(t, {0, 1, 2, 3});
+  const auto factors = random_factors(t, 6, 72);
+  Matrix got, want;
+  for (mode_t m = 0; m < t.order(); ++m) {
+    engine.compute(m, factors, got);
+    mttkrp_reference(t, factors, m, want);
+    EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-9) << "mode " << m;
+  }
+}
+
+TEST(CsfOne, DefaultOrderSortsByDimension) {
+  const auto t = generate_uniform(shape_t{500, 20, 100}, 400, 73);
+  const CsfOneMttkrpEngine engine(t);
+  EXPECT_EQ(engine.csf().mode_order(), (std::vector<mode_t>{1, 2, 0}));
+}
+
+TEST(CsfOne, HandExampleRootAndLeaf) {
+  // 2x2 matrix as a degenerate tensor: MTTKRP in mode 0 is X·U1, in mode 1
+  // is Xᵀ·U0.
+  CooTensor t(shape_t{2, 2});
+  t.push_back(std::array<index_t, 2>{0, 0}, 1.0);
+  t.push_back(std::array<index_t, 2>{0, 1}, 2.0);
+  t.push_back(std::array<index_t, 2>{1, 1}, 3.0);
+  CsfOneMttkrpEngine engine(t, {0, 1});
+  std::vector<Matrix> factors{Matrix(2, 1), Matrix(2, 1)};
+  factors[0](0, 0) = 5;
+  factors[0](1, 0) = 7;
+  factors[1](0, 0) = 11;
+  factors[1](1, 0) = 13;
+  Matrix out;
+  engine.compute(0, factors, out);  // root kernel
+  EXPECT_DOUBLE_EQ(out(0, 0), 1 * 11 + 2 * 13);
+  EXPECT_DOUBLE_EQ(out(1, 0), 3 * 13);
+  engine.compute(1, factors, out);  // leaf kernel
+  EXPECT_DOUBLE_EQ(out(0, 0), 1 * 5);
+  EXPECT_DOUBLE_EQ(out(1, 0), 2 * 5 + 3 * 7);
+}
+
+TEST(CsfOne, SharedOutputRowsAccumulate) {
+  // Two different root slices contribute to the SAME middle-mode index —
+  // the collision case the two-phase scatter exists for.
+  CooTensor t(shape_t{2, 1, 2});
+  t.push_back(std::array<index_t, 3>{0, 0, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{1, 0, 1}, 2.0);
+  CsfOneMttkrpEngine engine(t, {0, 1, 2});
+  const auto factors = random_factors(t, 3, 75);
+  Matrix got, want;
+  engine.compute(1, factors, got);
+  mttkrp_reference(t, factors, 1, want);
+  EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-12);
+}
+
+TEST(CsfOne, MemorySmallerThanAllModeCsf) {
+  const auto t = generate_zipf(shape_t{60, 70, 80, 90}, 4000, 1.0, 77);
+  const CsfOneMttkrpEngine one(t);
+  const CsfMttkrpEngine all(t);
+  EXPECT_LT(one.memory_bytes(), all.memory_bytes());
+}
+
+TEST(CsfOne, BitwiseDeterministicAcrossThreads) {
+  const auto t = generate_clustered(shape_t{50, 50, 50, 50}, 2500,
+                                    {.clusters = 8, .spread = 3.0}, 79);
+  const auto factors = random_factors(t, 8, 80);
+  std::vector<Matrix> results;
+  for (int threads : {1, 3}) {
+    set_num_threads(threads);
+    CsfOneMttkrpEngine engine(t);
+    Matrix out;
+    engine.compute(1, factors, out);
+    results.push_back(std::move(out));
+  }
+  set_num_threads(1);
+  EXPECT_TRUE(results[0] == results[1]);
+}
+
+}  // namespace
+}  // namespace mdcp

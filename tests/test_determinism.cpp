@@ -1,0 +1,77 @@
+// Bitwise determinism across thread counts: all parallel kernels accumulate
+// per output element in a fixed order, so results must be *identical* (not
+// just close) for any number of threads.
+#include <gtest/gtest.h>
+
+#include "cpals/cpals.hpp"
+#include "la/blas.hpp"
+#include "tensor/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+namespace {
+
+using mdcp::testing::exact_engine_kinds;
+using mdcp::testing::kind_label;
+using mdcp::testing::random_factors;
+
+class ThreadRestore {
+ public:
+  ~ThreadRestore() { set_num_threads(1); }
+};
+
+TEST(Determinism, MttkrpBitwiseAcrossThreadCounts) {
+  ThreadRestore restore;
+  const auto t = generate_zipf(shape_t{30, 35, 40, 45}, 3000, 1.1, 61);
+  const auto factors = random_factors(t, 8, 62);
+
+  for (EngineKind k : exact_engine_kinds()) {
+    std::vector<Matrix> results;
+    for (int threads : {1, 2, 4}) {
+      set_num_threads(threads);
+      const auto engine = make_engine(t, k, 8);
+      Matrix out;
+      engine->compute(2, factors, out);
+      results.push_back(std::move(out));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[0] == results[i], true)
+          << kind_label(k) << ": thread count changed the bits";
+    }
+  }
+}
+
+TEST(Determinism, GramBitwiseAcrossThreadCounts) {
+  ThreadRestore restore;
+  Rng rng(63);
+  const Matrix a = Matrix::random_normal(997, 16, rng);
+  set_num_threads(1);
+  const Matrix g1 = gram(a);
+  set_num_threads(4);
+  const Matrix g4 = gram(a);
+  EXPECT_TRUE(g1 == g4);
+}
+
+TEST(Determinism, CpAlsBitwiseAcrossThreadCounts) {
+  ThreadRestore restore;
+  const auto t = generate_uniform(shape_t{18, 20, 22}, 900, 67);
+  CpAlsOptions opt;
+  opt.rank = 4;
+  opt.max_iterations = 4;
+  opt.tolerance = 0;
+  opt.engine = EngineKind::kDTreeBdt;
+
+  set_num_threads(1);
+  const auto r1 = cp_als(t, opt);
+  set_num_threads(4);
+  const auto r4 = cp_als(t, opt);
+  ASSERT_EQ(r1.fits.size(), r4.fits.size());
+  for (std::size_t i = 0; i < r1.fits.size(); ++i)
+    EXPECT_EQ(r1.fits[i], r4.fits[i]) << "iteration " << i;
+  for (mode_t m = 0; m < 3; ++m)
+    EXPECT_TRUE(r1.model.factors[m] == r4.model.factors[m]) << "mode " << m;
+}
+
+}  // namespace
+}  // namespace mdcp

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "dtree/dimension_tree.hpp"
+#include "dtree/dtree_engine.hpp"
+#include "dtree/numeric.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/stats.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+using mdcp::testing::random_factors;
+
+std::vector<mode_t> natural(mode_t n) {
+  std::vector<mode_t> o(n);
+  for (mode_t m = 0; m < n; ++m) o[m] = m;
+  return o;
+}
+
+TEST(TreeSpec, FlatShape) {
+  const auto spec = TreeSpec::flat(natural(4));
+  EXPECT_EQ(spec.children.size(), 4u);
+  for (const auto& c : spec.children) EXPECT_TRUE(c.is_leaf());
+  EXPECT_NO_THROW(spec.validate(4));
+  EXPECT_EQ(spec.to_string(), "(0,1,2,3)");
+}
+
+TEST(TreeSpec, ThreeLevelShape) {
+  const auto spec = TreeSpec::three_level(natural(4), 2);
+  ASSERT_EQ(spec.children.size(), 2u);
+  EXPECT_EQ(spec.children[0].modes, (std::vector<mode_t>{0, 1}));
+  EXPECT_EQ(spec.children[1].modes, (std::vector<mode_t>{2, 3}));
+  EXPECT_NO_THROW(spec.validate(4));
+}
+
+TEST(TreeSpec, ThreeLevelSingletonGroupCollapses) {
+  const auto spec = TreeSpec::three_level(natural(3), 1);
+  ASSERT_EQ(spec.children.size(), 2u);
+  EXPECT_TRUE(spec.children[0].is_leaf());
+  EXPECT_FALSE(spec.children[1].is_leaf());
+  EXPECT_NO_THROW(spec.validate(3));
+}
+
+TEST(TreeSpec, BdtIsBalancedBinary) {
+  const auto spec = TreeSpec::bdt(natural(8));
+  EXPECT_NO_THROW(spec.validate(8));
+  // Every internal node has exactly two children.
+  std::function<void(const TreeSpec&)> walk = [&](const TreeSpec& n) {
+    if (n.is_leaf()) return;
+    EXPECT_EQ(n.children.size(), 2u);
+    for (const auto& c : n.children) walk(c);
+  };
+  walk(spec);
+  EXPECT_EQ(spec.to_string(), "(((0,1),(2,3)),((4,5),(6,7)))");
+}
+
+TEST(TreeSpec, ValidateRejectsBadPartitions) {
+  TreeSpec bad;
+  bad.modes = {0, 1, 2};
+  TreeSpec c1;
+  c1.modes = {0, 1};
+  c1.children = {TreeSpec{{0}, {}}, TreeSpec{{1}, {}}};
+  TreeSpec c2;
+  c2.modes = {1};  // overlaps c1 — not a partition
+  bad.children = {c1, c2};
+  EXPECT_THROW(bad.validate(3), error);
+}
+
+TEST(TreeSpec, ValidateRejectsWrongRootCover) {
+  const auto spec = TreeSpec::bdt(natural(3));
+  EXPECT_THROW(spec.validate(4), error);
+}
+
+TEST(DimensionTree, NodeMetadata) {
+  const auto t = generate_uniform(shape_t{10, 12, 14, 16}, 500, 3);
+  const DimensionTree tree(t, TreeSpec::bdt(natural(4)));
+  // Nodes: root, {0,1}, {2,3}, and 4 leaves.
+  EXPECT_EQ(tree.size(), 7);
+  const auto& root = tree.node(tree.root());
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.mode_set, 0b1111u);
+  EXPECT_EQ(root.children.size(), 2u);
+
+  for (mode_t m = 0; m < 4; ++m) {
+    const auto& leaf = tree.node(tree.leaf_for_mode(m));
+    EXPECT_TRUE(leaf.is_leaf());
+    EXPECT_EQ(leaf.mode_set, mode_set_t{1} << m);
+  }
+}
+
+TEST(DimensionTree, DeltaIsParentMinusChild) {
+  const auto t = generate_uniform(shape_t{10, 12, 14, 16}, 500, 3);
+  const DimensionTree tree(t, TreeSpec::bdt(natural(4)));
+  const auto& left = tree.node(tree.node(tree.root()).children[0]);
+  EXPECT_EQ(left.mode_set, 0b0011u);
+  EXPECT_EQ(left.delta, (std::vector<mode_t>{2, 3}));
+}
+
+TEST(DimensionTree, SymbolicTupleCountsMatchProjections) {
+  const auto t = generate_clustered(shape_t{300, 300, 300, 300}, 3000,
+                                    {.clusters = 8, .spread = 3.0}, 5);
+  const DimensionTree tree(t, TreeSpec::bdt(natural(4)));
+  for (int i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_root()) continue;
+    EXPECT_EQ(n.tuples, distinct_projection_count(t, n.mode_set))
+        << "node " << i;
+  }
+}
+
+TEST(DimensionTree, ReductionSetsPartitionParent) {
+  const auto t = generate_uniform(shape_t{20, 20, 20, 20}, 800, 7);
+  const DimensionTree tree(t, TreeSpec::bdt(natural(4)));
+  for (int i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_root()) continue;
+    const nnz_t parent_tuples = tree.node_tuples(n.parent);
+    // red_ids is a permutation of the parent's tuple ids.
+    EXPECT_EQ(n.red_ids.size(), parent_tuples);
+    std::vector<bool> seen(parent_tuples, false);
+    for (nnz_t id : n.red_ids) {
+      ASSERT_LT(id, parent_tuples);
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+    EXPECT_EQ(n.red_ptr.front(), 0u);
+    EXPECT_EQ(n.red_ptr.back(), parent_tuples);
+  }
+}
+
+TEST(DimensionTree, IndexArraysSortedAndInRange) {
+  const auto t = generate_zipf(shape_t{40, 50, 60}, 1500, 1.3, 9);
+  const DimensionTree tree(t, TreeSpec::bdt(natural(3)));
+  for (int i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.is_root()) continue;
+    for (std::size_t mp = 0; mp < n.modes.size(); ++mp) {
+      const auto span = tree.node_mode_index(i, n.modes[mp]);
+      for (index_t v : span) EXPECT_LT(v, t.dim(n.modes[mp]));
+    }
+    // Tuples are lexicographically sorted (strictly increasing).
+    for (nnz_t u = 1; u < n.tuples; ++u) {
+      bool greater = false, equal = true;
+      for (const auto& arr : n.idx) {
+        if (!equal) break;
+        if (arr[u] != arr[u - 1]) {
+          greater = arr[u] > arr[u - 1];
+          equal = false;
+        }
+      }
+      EXPECT_TRUE(!equal && greater) << "node " << i << " tuple " << u;
+    }
+  }
+}
+
+TEST(DimensionTree, RequiresOrderTwoPlus) {
+  CooTensor t(shape_t{5});
+  t.push_back(std::array<index_t, 1>{2}, 1.0);
+  TreeSpec leaf;
+  leaf.modes = {0};
+  EXPECT_THROW(DimensionTree(t, leaf), error);
+}
+
+TEST(DTreeEngine, MatchesReferenceAllShapes) {
+  const auto t = generate_zipf(shape_t{15, 25, 35, 45, 55}, 2500, 1.0, 21);
+  const auto factors = random_factors(t, 7, 77);
+  for (auto make : {&make_dtree_flat, &make_dtree_three_level, &make_dtree_bdt}) {
+    auto engine = make(t);
+    for (mode_t m = 0; m < t.order(); ++m) {
+      Matrix got, want;
+      engine->compute(m, factors, got);
+      mttkrp_reference(t, factors, m, want);
+      EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-9)
+          << engine->name() << " mode " << m;
+    }
+  }
+}
+
+TEST(DTreeEngine, MemoizationBoundOnLiveValueMatrices) {
+  // After each sub-iteration of a sweep, at most ceil(log2 N) value matrices
+  // may be alive for a BDT (the dimension-tree memory theorem).
+  const auto t = generate_uniform(shape_t{12, 12, 12, 12, 12, 12, 12, 12},
+                                  3000, 31);
+  auto engine = make_dtree_bdt(t);
+  const auto factors = random_factors(t, 4, 8);
+  Matrix out;
+  const int bound = static_cast<int>(std::ceil(std::log2(8)));
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (mode_t m = 0; m < t.order(); ++m) {
+      engine->compute(m, factors, out);
+      engine->factor_updated(m);
+      int live = 0;
+      for (int i = 0; i < engine->tree().size(); ++i)
+        live += engine->tree().node(i).valid;
+      EXPECT_LE(live, bound) << "after mode " << m;
+    }
+  }
+}
+
+TEST(DTreeEngine, FactorUpdatedInvalidatesCorrectly) {
+  // Simulated ALS: mutate factors between computes; memoized results must
+  // still match a from-scratch reference at every step.
+  const auto t = generate_uniform(shape_t{18, 20, 22, 24}, 900, 41);
+  auto engine = make_dtree_bdt(t);
+  auto factors = random_factors(t, 5, 15);
+  Rng rng(1234);
+  Matrix got, want;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (mode_t m = 0; m < t.order(); ++m) {
+      engine->compute(m, factors, got);
+      mttkrp_reference(t, factors, m, want);
+      ASSERT_LT(Matrix::max_abs_diff(got, want), 1e-9)
+          << "sweep " << sweep << " mode " << m;
+      // "Update" factor m as ALS would.
+      factors[m] = Matrix::random_uniform(t.dim(m), 5, rng);
+      engine->factor_updated(m);
+    }
+  }
+}
+
+TEST(DTreeEngine, StaleResultsWithoutInvalidationDiffer) {
+  // Deliberately omit factor_updated: the engine is expected to serve the
+  // memoized (now stale) intermediates. This documents the contract.
+  const auto t = generate_uniform(shape_t{10, 10, 10, 10}, 400, 47);
+  auto engine = make_dtree_bdt(t);
+  auto factors = random_factors(t, 3, 5);
+  Matrix first, second;
+  engine->compute(0, factors, first);
+  Rng rng(5);
+  factors[3] = Matrix::random_uniform(t.dim(3), 3, rng);
+  engine->compute(0, factors, second);  // no factor_updated(3)!
+  EXPECT_LT(Matrix::max_abs_diff(first, second), 1e-12)
+      << "engine should have reused the memoized result";
+  engine->factor_updated(3);
+  engine->compute(0, factors, second);
+  EXPECT_GT(Matrix::max_abs_diff(first, second), 1e-6)
+      << "after invalidation the fresh factors must be used";
+}
+
+TEST(DTreeEngine, RankChangeResetsState) {
+  const auto t = generate_uniform(shape_t{10, 12, 14}, 300, 53);
+  auto engine = make_dtree_bdt(t);
+  Matrix got, want;
+  const auto f5 = random_factors(t, 5, 1);
+  engine->compute(0, f5, got);
+  EXPECT_EQ(got.cols(), 5u);
+  const auto f9 = random_factors(t, 9, 2);
+  engine->compute(1, f9, got);
+  mttkrp_reference(t, f9, 1, want);
+  EXPECT_EQ(got.cols(), 9u);
+  EXPECT_LT(Matrix::max_abs_diff(got, want), 1e-9);
+}
+
+TEST(DTreeEngine, MemoryReporting) {
+  const auto t = generate_uniform(shape_t{30, 30, 30, 30}, 2000, 59);
+  auto engine = make_dtree_bdt(t);
+  const std::size_t symbolic_only = engine->memory_bytes();
+  EXPECT_GT(symbolic_only, 0u);
+  const auto factors = random_factors(t, 8, 3);
+  Matrix out;
+  engine->compute(0, factors, out);
+  EXPECT_GT(engine->memory_bytes(), symbolic_only);
+  EXPECT_GE(engine->peak_memory_bytes(), engine->memory_bytes());
+  engine->invalidate_all();
+  EXPECT_EQ(engine->memory_bytes(), symbolic_only);
+}
+
+TEST(DTreeEngine, EmptySlicesGiveZeroRows) {
+  // Mode-0 index 1 is never used; its MTTKRP row must be zero.
+  CooTensor t(shape_t{3, 2, 2});
+  t.push_back(std::array<index_t, 3>{0, 0, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{2, 1, 1}, 2.0);
+  auto engine = make_dtree_bdt(t);
+  const auto factors = random_factors(t, 4, 9);
+  Matrix out;
+  engine->compute(0, factors, out);
+  for (index_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(out(1, k), 0.0);
+}
+
+// --- Property test: arbitrary random tree shapes are exact ---------------
+//
+// Generates random valid dimension trees (random recursive partitions with
+// 2..4 children per node, shuffled mode orders) and checks the engine
+// against the brute-force reference. This covers shapes none of the
+// canonical constructors produce (unbalanced, mixed-arity).
+namespace {
+
+TreeSpec random_spec(std::vector<mode_t> modes, Rng& rng) {
+  TreeSpec node;
+  node.modes = modes;
+  if (modes.size() == 1) return node;
+  // Shuffle, then split into k groups.
+  for (std::size_t i = modes.size(); i-- > 1;)
+    std::swap(modes[i], modes[rng.next_below(i + 1)]);
+  const std::size_t k =
+      std::min<std::size_t>(modes.size(), 2 + rng.next_below(3));
+  std::vector<std::vector<mode_t>> groups(k);
+  for (std::size_t i = 0; i < modes.size(); ++i)
+    groups[i % k].push_back(modes[i]);
+  for (auto& g : groups) node.children.push_back(random_spec(std::move(g), rng));
+  return node;
+}
+
+class RandomTreeShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeShapes, EngineMatchesReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto order = static_cast<mode_t>(3 + rng.next_below(4));  // 3..6
+  shape_t shape;
+  for (mode_t m = 0; m < order; ++m)
+    shape.push_back(static_cast<index_t>(8 + rng.next_below(30)));
+  const auto t = generate_zipf(shape, 500, 1.0, 9000u + GetParam());
+
+  std::vector<mode_t> modes(order);
+  std::iota(modes.begin(), modes.end(), mode_t{0});
+  const TreeSpec spec = random_spec(modes, rng);
+  ASSERT_NO_THROW(spec.validate(order)) << spec.to_string();
+
+  DTreeMttkrpEngine engine(t, spec, "random");
+  auto factors = random_factors(t, 4, 77u + GetParam());
+  Matrix got, want;
+  Rng frng(31u + GetParam());
+  // Two ALS-like sweeps with factor updates in between.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (mode_t m = 0; m < order; ++m) {
+      engine.compute(m, factors, got);
+      mttkrp_reference(t, factors, m, want);
+      ASSERT_LT(Matrix::max_abs_diff(got, want), 1e-9)
+          << spec.to_string() << " sweep " << sweep << " mode " << m;
+      factors[m] = Matrix::random_uniform(t.dim(m), 4, frng);
+      engine.factor_updated(m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeShapes, ::testing::Range(0, 12));
+
+}  // namespace
+
+}  // namespace
+}  // namespace mdcp

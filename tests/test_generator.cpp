@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpals/kruskal.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/stats.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+TEST(Generator, UniformRespectsShapeAndNnz) {
+  const shape_t shape{50, 60, 70};
+  const auto t = generate_uniform(shape, 2000, 1);
+  t.validate();
+  EXPECT_EQ(t.shape(), shape);
+  EXPECT_LE(t.nnz(), 2000u);
+  EXPECT_GT(t.nnz(), 1900u);  // few collisions at this density
+}
+
+TEST(Generator, UniformDeterministicBySeed) {
+  const shape_t shape{20, 20, 20};
+  EXPECT_EQ(generate_uniform(shape, 500, 7), generate_uniform(shape, 500, 7));
+  EXPECT_FALSE(generate_uniform(shape, 500, 7) ==
+               generate_uniform(shape, 500, 8));
+}
+
+TEST(Generator, UniformValuesPositive) {
+  const auto t = generate_uniform(shape_t{30, 30}, 400, 3);
+  for (nnz_t i = 0; i < t.nnz(); ++i) EXPECT_GT(t.value(i), 0.0);
+}
+
+TEST(Generator, ZipfSkewsIndexUsage) {
+  const shape_t shape{1000, 1000, 1000};
+  const auto zipf = generate_zipf(shape, 20000, 1.5, 5);
+  const auto unif = generate_uniform(shape, 20000, 5);
+  zipf.validate();
+  // Skewed draws reuse few indices; uniform draws cover many.
+  EXPECT_LT(zipf.distinct_in_mode(0), unif.distinct_in_mode(0) * 7 / 10);
+}
+
+TEST(Generator, ClusteredIncreasesProjectionOverlap) {
+  const shape_t shape{2000, 2000, 2000, 2000};
+  const auto clustered =
+      generate_clustered(shape, 20000, {.clusters = 16, .spread = 4.0}, 11);
+  const auto uniform = generate_uniform(shape, 20000, 11);
+  clustered.validate();
+  // Projecting onto modes {0,1} collapses far more tuples for the clustered
+  // tensor — the index-overlap property that drives memoization gains.
+  const auto c01 = distinct_projection_count(clustered, 0b0011);
+  const auto u01 = distinct_projection_count(uniform, 0b0011);
+  EXPECT_LT(c01, u01 / 2);
+}
+
+TEST(Generator, ClusteredRejectsZeroClusters) {
+  EXPECT_THROW(
+      generate_clustered(shape_t{10, 10}, 100, {.clusters = 0}, 1), error);
+}
+
+TEST(Generator, PlantedProducesGroundTruth) {
+  const auto planted = generate_planted(shape_t{40, 50, 60}, 4, 3000, 0.0, 21);
+  planted.tensor.validate();
+  EXPECT_EQ(planted.factors.size(), 3u);
+  EXPECT_EQ(planted.weights.size(), 4u);
+  EXPECT_EQ(planted.factors[0].rows(), 40u);
+  EXPECT_EQ(planted.factors[0].cols(), 4u);
+
+  // Noiseless: every stored value equals the Kruskal model exactly.
+  KruskalTensor model{planted.weights, planted.factors};
+  std::vector<index_t> c(3);
+  for (nnz_t i = 0; i < std::min<nnz_t>(planted.tensor.nnz(), 100); ++i) {
+    planted.tensor.coords(i, c);
+    EXPECT_NEAR(planted.tensor.value(i), model.value_at(c), 1e-12);
+  }
+}
+
+TEST(Generator, PlantedNoisePerturbsValues) {
+  const auto clean = generate_planted(shape_t{30, 30, 30}, 3, 1000, 0.0, 33);
+  const auto noisy = generate_planted(shape_t{30, 30, 30}, 3, 1000, 0.5, 33);
+  // Same seed → same coordinates; values must differ due to noise.
+  ASSERT_EQ(clean.tensor.nnz(), noisy.tensor.nnz());
+  real_t diff = 0;
+  for (nnz_t i = 0; i < clean.tensor.nnz(); ++i)
+    diff += std::abs(clean.tensor.value(i) - noisy.tensor.value(i));
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Generator, HigherOrderShapes) {
+  const shape_t shape{10, 12, 14, 16, 18, 20};
+  const auto t = generate_uniform(shape, 5000, 2);
+  t.validate();
+  EXPECT_EQ(t.order(), 6);
+}
+
+}  // namespace
+}  // namespace mdcp

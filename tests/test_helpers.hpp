@@ -1,0 +1,48 @@
+// Shared fixtures/utilities for the mdcp test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mdcp.hpp"
+
+namespace mdcp::testing {
+
+/// Random factor matrices matching `tensor` with the given rank.
+inline std::vector<Matrix> random_factors(const CooTensor& tensor,
+                                          index_t rank, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> f;
+  f.reserve(tensor.order());
+  for (mode_t m = 0; m < tensor.order(); ++m)
+    f.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));
+  return f;
+}
+
+/// Small dense-ish tensor for brute-force comparisons.
+inline CooTensor small_tensor(mode_t order, index_t dim, nnz_t nnz,
+                              std::uint64_t seed) {
+  shape_t shape(order, dim);
+  return generate_uniform(shape, nnz, seed);
+}
+
+/// All engine kinds that are exact MTTKRPs (everything except kAuto, which
+/// is itself one of the dtree engines under the hood and is tested
+/// separately).
+inline std::vector<EngineKind> exact_engine_kinds() {
+  return {EngineKind::kCoo,           EngineKind::kBlockedCoo,
+          EngineKind::kTtvChain,      EngineKind::kCsf,
+          EngineKind::kCsfOne,        EngineKind::kDTreeFlat,
+          EngineKind::kDTreeThreeLevel, EngineKind::kDTreeBdt};
+}
+
+/// Label-friendly name for parameterized tests.
+inline std::string kind_label(EngineKind k) {
+  std::string s = engine_kind_name(k);
+  for (auto& c : s)
+    if (c == '-') c = '_';
+  return s;
+}
+
+}  // namespace mdcp::testing

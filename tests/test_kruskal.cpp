@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "cpals/kruskal.hpp"
+#include "la/blas.hpp"
+#include "tensor/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace mdcp {
+namespace {
+
+using mdcp::testing::random_factors;
+
+KruskalTensor make_model(const shape_t& shape, index_t rank,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  KruskalTensor m;
+  m.weights.resize(rank);
+  for (auto& w : m.weights) w = 0.5 + rng.next_real();
+  for (index_t d : shape) m.factors.push_back(Matrix::random_uniform(d, rank, rng));
+  return m;
+}
+
+// Dense brute-force evaluation of the full model tensor.
+real_t dense_norm(const KruskalTensor& m, const shape_t& shape) {
+  std::vector<index_t> c(shape.size(), 0);
+  real_t s = 0;
+  // Odometer over all positions (shapes kept tiny in these tests).
+  while (true) {
+    const real_t v = m.value_at(c);
+    s += v * v;
+    std::size_t d = 0;
+    for (; d < shape.size(); ++d) {
+      if (++c[d] < shape[d]) break;
+      c[d] = 0;
+    }
+    if (d == shape.size()) break;
+  }
+  return std::sqrt(s);
+}
+
+TEST(Kruskal, ValueAtMatchesDefinition) {
+  const shape_t shape{3, 4, 5};
+  const auto m = make_model(shape, 2, 1);
+  const std::array<index_t, 3> c{1, 2, 3};
+  real_t expect = 0;
+  for (index_t r = 0; r < 2; ++r)
+    expect += m.weights[r] * m.factors[0](1, r) * m.factors[1](2, r) *
+              m.factors[2](3, r);
+  EXPECT_NEAR(m.value_at(c), expect, 1e-14);
+}
+
+TEST(Kruskal, NormMatchesDenseBruteForce) {
+  const shape_t shape{4, 3, 5};
+  const auto m = make_model(shape, 3, 7);
+  EXPECT_NEAR(m.norm(), dense_norm(m, shape), 1e-9);
+}
+
+TEST(Kruskal, NormHigherOrder) {
+  const shape_t shape{3, 3, 3, 3, 3};
+  const auto m = make_model(shape, 2, 9);
+  EXPECT_NEAR(m.norm(), dense_norm(m, shape), 1e-9);
+}
+
+TEST(Kruskal, ValidateCatchesRankMismatch) {
+  auto m = make_model(shape_t{3, 4}, 2, 11);
+  m.weights.push_back(1.0);
+  EXPECT_THROW(m.validate(), error);
+}
+
+TEST(Kruskal, InnerProductConsistency) {
+  const auto t = generate_uniform(shape_t{8, 9, 10}, 200, 13);
+  const auto m = make_model(t.shape(), 3, 15);
+  // ⟨X,M⟩ via direct evaluation vs via the MTTKRP identity.
+  Matrix mttkrp_last;
+  mttkrp_reference(t, m.factors, 2, mttkrp_last);
+  const real_t direct = inner_product(t, m);
+  const real_t via_mttkrp = inner_product_from_mttkrp(m, mttkrp_last, 2);
+  EXPECT_NEAR(direct, via_mttkrp, 1e-9 * std::abs(direct));
+}
+
+TEST(Kruskal, FitFromPartsIdentities) {
+  // Perfect model: residual 0 → fit 1.
+  EXPECT_NEAR(fit_from_parts(2.0, 4.0, 2.0), 1.0, 1e-14);
+  // Zero model: fit 0.
+  EXPECT_NEAR(fit_from_parts(3.0, 0.0, 0.0), 0.0, 1e-14);
+  // Degenerate x.
+  EXPECT_DOUBLE_EQ(fit_from_parts(0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Kruskal, ResidualNormZeroForExactModel) {
+  // Build a tensor that *is* a Kruskal model sampled on every position of a
+  // tiny dense grid.
+  const shape_t shape{3, 3, 3};
+  const auto m = make_model(shape, 2, 17);
+  CooTensor t(shape);
+  std::array<index_t, 3> c{};
+  for (c[0] = 0; c[0] < 3; ++c[0])
+    for (c[1] = 0; c[1] < 3; ++c[1])
+      for (c[2] = 0; c[2] < 3; ++c[2]) t.push_back(c, m.value_at(c));
+  EXPECT_NEAR(residual_norm(t, m), 0.0, 1e-5);
+}
+
+TEST(Kruskal, ResidualNormDetectsError) {
+  const shape_t shape{3, 3};
+  const auto m = make_model(shape, 2, 19);
+  CooTensor t(shape);
+  std::array<index_t, 2> c{};
+  for (c[0] = 0; c[0] < 3; ++c[0])
+    for (c[1] = 0; c[1] < 3; ++c[1]) t.push_back(c, m.value_at(c));
+  t.value(0) += 2.0;
+  EXPECT_NEAR(residual_norm(t, m), 2.0, 1e-9);
+}
+
+TEST(Congruence, IdenticalModelsScoreOne) {
+  const auto m = make_model(shape_t{10, 12, 14}, 3, 21);
+  EXPECT_NEAR(factor_congruence(m, m), 1.0, 1e-12);
+}
+
+TEST(Congruence, PermutationInvariant) {
+  const auto m = make_model(shape_t{10, 12}, 3, 23);
+  KruskalTensor permuted = m;
+  // Swap components 0 and 2 in every factor.
+  for (auto& f : permuted.factors) {
+    for (index_t i = 0; i < f.rows(); ++i) std::swap(f(i, 0), f(i, 2));
+  }
+  std::swap(permuted.weights[0], permuted.weights[2]);
+  EXPECT_NEAR(factor_congruence(m, permuted), 1.0, 1e-12);
+}
+
+TEST(Congruence, SignInvariant) {
+  const auto m = make_model(shape_t{10, 12, 14}, 2, 25);
+  KruskalTensor flipped = m;
+  for (index_t i = 0; i < flipped.factors[0].rows(); ++i)
+    flipped.factors[0](i, 1) = -flipped.factors[0](i, 1);
+  EXPECT_NEAR(factor_congruence(m, flipped), 1.0, 1e-12);
+}
+
+TEST(Congruence, RandomModelsScoreLow) {
+  const auto a = make_model(shape_t{50, 50, 50}, 4, 27);
+  const auto b = make_model(shape_t{50, 50, 50}, 4, 28);
+  // Uniform(0.?) columns are positively correlated, but the product over 3
+  // modes of non-matching cosines stays clearly below a true match.
+  EXPECT_LT(factor_congruence(a, b), 0.995);
+}
+
+}  // namespace
+}  // namespace mdcp

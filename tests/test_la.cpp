@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/eigen.hpp"
+#include "la/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mdcp {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 2, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 1.5);
+  m(1, 0) = -4;
+  EXPECT_DOUBLE_EQ(m(1, 0), -4.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[0], -4.0);
+}
+
+TEST(Matrix, FillAndZero) {
+  Matrix m(2, 2, 3);
+  m.zero();
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 0.0);
+  m.fill(2);
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 4.0);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m(2, 3);
+  for (index_t i = 0; i < 2; ++i)
+    for (index_t j = 0; j < 3; ++j) m(i, j) = static_cast<real_t>(i * 3 + j);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (index_t i = 0; i < 2; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(j, i), m(i, j));
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1), b(2, 2, 1);
+  b(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 3.0);
+}
+
+TEST(Matrix, RandomDeterministic) {
+  Rng r1(5), r2(5);
+  EXPECT_EQ(Matrix::random_uniform(4, 3, r1), Matrix::random_uniform(4, 3, r2));
+}
+
+TEST(Blas, GramMatchesBruteForce) {
+  Rng rng(3);
+  const Matrix a = Matrix::random_normal(37, 5, rng);
+  const Matrix g = gram(a);
+  for (index_t i = 0; i < 5; ++i) {
+    for (index_t j = 0; j < 5; ++j) {
+      real_t expect = 0;
+      for (index_t k = 0; k < 37; ++k) expect += a(k, i) * a(k, j);
+      EXPECT_NEAR(g(i, j), expect, 1e-10);
+    }
+  }
+}
+
+TEST(Blas, GramIsSymmetric) {
+  Rng rng(4);
+  const Matrix g = gram(Matrix::random_normal(20, 6, rng));
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+}
+
+TEST(Blas, MultiplyMatchesBruteForce) {
+  Rng rng(6);
+  const Matrix a = Matrix::random_normal(7, 4, rng);
+  const Matrix b = Matrix::random_normal(4, 5, rng);
+  const Matrix c = multiply(a, b);
+  for (index_t i = 0; i < 7; ++i) {
+    for (index_t j = 0; j < 5; ++j) {
+      real_t expect = 0;
+      for (index_t k = 0; k < 4; ++k) expect += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), expect, 1e-12);
+    }
+  }
+}
+
+TEST(Blas, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  Matrix c;
+  EXPECT_THROW(multiply_into(a, b, c), error);
+}
+
+TEST(Blas, HadamardInPlace) {
+  Matrix a(2, 2, 3), b(2, 2, 2);
+  hadamard_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+}
+
+TEST(Blas, HadamardAll) {
+  const Matrix a(2, 2, 2), b(2, 2, 3), c(2, 2, 5);
+  const Matrix h = hadamard_all({&a, &b, &c});
+  EXPECT_DOUBLE_EQ(h(1, 1), 30.0);
+}
+
+TEST(Blas, ColumnNormalize) {
+  Matrix m(2, 2);
+  m(0, 0) = 3;
+  m(1, 0) = 4;
+  m(0, 1) = 0;
+  m(1, 1) = 0;
+  const auto norms = column_normalize(m);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.0);  // zero column untouched
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.8);
+}
+
+TEST(Blas, Dot) {
+  Matrix a(2, 2, 2), b(2, 2, 3);
+  EXPECT_DOUBLE_EQ(dot(a, b), 24.0);
+}
+
+TEST(Cholesky, FactorAndSolveSpd) {
+  // A = Bᵀ B + I is SPD.
+  Rng rng(8);
+  const Matrix b = Matrix::random_normal(10, 4, rng);
+  Matrix a = gram(b);
+  for (index_t i = 0; i < 4; ++i) a(i, i) += 1;
+
+  const Matrix a_copy = a;
+  ASSERT_TRUE(cholesky_factor(a));
+
+  // Solve X·A = M for a random M and verify residual.
+  const Matrix m = Matrix::random_normal(6, 4, rng);
+  Matrix x = m;
+  cholesky_solve_rows(a, x);
+  const Matrix recon = multiply(x, a_copy);
+  EXPECT_LT(Matrix::max_abs_diff(recon, m), 1e-9);
+}
+
+TEST(Cholesky, FactorFailsOnIndefinite) {
+  Matrix a(2, 2, 0);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(cholesky_factor(a));
+}
+
+TEST(Eigen, DiagonalizesKnownMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;  // eigenvalues 1 and 3
+  Matrix v;
+  std::vector<real_t> w;
+  jacobi_eigen_symmetric(a, v, w);
+  std::sort(w.begin(), w.end());
+  EXPECT_NEAR(w[0], 1.0, 1e-10);
+  EXPECT_NEAR(w[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructsFromEigenpairs) {
+  Rng rng(10);
+  const Matrix b = Matrix::random_normal(8, 5, rng);
+  const Matrix a = gram(b);
+  Matrix v;
+  std::vector<real_t> w;
+  jacobi_eigen_symmetric(a, v, w);
+  // A == V diag(w) Vᵀ.
+  Matrix recon(5, 5, 0);
+  for (index_t k = 0; k < 5; ++k)
+    for (index_t i = 0; i < 5; ++i)
+      for (index_t j = 0; j < 5; ++j)
+        recon(i, j) += v(i, k) * w[k] * v(j, k);
+  EXPECT_LT(Matrix::max_abs_diff(recon, a), 1e-8);
+}
+
+TEST(Eigen, PseudoInverseOfSingularMatrix) {
+  // Rank-1 symmetric matrix: A = u uᵀ with u = (1, 2)ᵀ.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  const Matrix ap = pseudo_inverse(a);
+  // A · A⁺ · A == A characterizes the Moore–Penrose inverse here.
+  const Matrix prod = multiply(multiply(a, ap), a);
+  EXPECT_LT(Matrix::max_abs_diff(prod, a), 1e-9);
+}
+
+TEST(Cholesky, NormalEquationsSolveSpdPath) {
+  Rng rng(12);
+  const Matrix b = Matrix::random_normal(20, 4, rng);
+  Matrix h = gram(b);
+  for (index_t i = 0; i < 4; ++i) h(i, i) += 0.5;
+  const Matrix m = Matrix::random_normal(9, 4, rng);
+  const Matrix x = solve_normal_equations(h, m);
+  EXPECT_LT(Matrix::max_abs_diff(multiply(x, h), m), 1e-9);
+}
+
+TEST(Cholesky, NormalEquationsSingularFallback) {
+  // H singular (rank 1): solution must satisfy X·H·H⁺ = M·H⁺·H ... we verify
+  // the weaker Moore–Penrose property X = M·H⁺ minimizes ‖X·H − M‖ by
+  // checking the normal-equation residual is orthogonal to range(H).
+  Matrix h(2, 2);
+  h(0, 0) = 1;
+  h(0, 1) = 1;
+  h(1, 0) = 1;
+  h(1, 1) = 1;
+  Matrix m(3, 2, 1.0);
+  const Matrix x = solve_normal_equations(h, m);
+  // For this H and M, M·H⁺ = [[0.5, 0.5], ...] and X·H = M exactly.
+  EXPECT_LT(Matrix::max_abs_diff(multiply(x, h), m), 1e-9);
+}
+
+}  // namespace
+}  // namespace mdcp

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/stats.hpp"
+
+namespace mdcp {
+namespace {
+
+CooTensor make_example() {
+  // The 4-nonzero 3x4x2 tensor used throughout the unit tests.
+  CooTensor t(shape_t{3, 4, 2});
+  t.push_back(std::array<index_t, 3>{0, 1, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{2, 3, 1}, 2.0);
+  t.push_back(std::array<index_t, 3>{1, 0, 0}, -3.0);
+  t.push_back(std::array<index_t, 3>{2, 1, 1}, 0.5);
+  return t;
+}
+
+TEST(Stats, BasicFields) {
+  const auto s = compute_stats(make_example());
+  EXPECT_EQ(s.nnz, 4u);
+  EXPECT_DOUBLE_EQ(s.density, 4.0 / 24.0);
+  EXPECT_EQ(s.distinct_per_mode, (std::vector<index_t>{3, 3, 2}));
+  EXPECT_DOUBLE_EQ(s.avg_slice_nnz[2], 2.0);
+}
+
+TEST(Stats, ToStringMentionsKeyNumbers) {
+  const auto s = compute_stats(make_example()).to_string();
+  EXPECT_NE(s.find("nnz=4"), std::string::npos);
+  EXPECT_NE(s.find("3x4x2"), std::string::npos);
+}
+
+TEST(Stats, DistinctProjectionSingleMode) {
+  const auto t = make_example();
+  EXPECT_EQ(distinct_projection_count(t, 0b001), 3u);
+  EXPECT_EQ(distinct_projection_count(t, 0b010), 3u);
+  EXPECT_EQ(distinct_projection_count(t, 0b100), 2u);
+}
+
+TEST(Stats, DistinctProjectionPairs) {
+  const auto t = make_example();
+  // Tuples: (0,1,0) (2,3,1) (1,0,0) (2,1,1)
+  EXPECT_EQ(distinct_projection_count(t, 0b011), 4u);  // (0,1)(2,3)(1,0)(2,1)
+  EXPECT_EQ(distinct_projection_count(t, 0b101), 3u);  // (2,3,1),(2,1,1) share (2,.,1)
+  EXPECT_EQ(distinct_projection_count(t, 0b110), 4u);
+  EXPECT_EQ(distinct_projection_count(t, 0b111), 4u);
+}
+
+TEST(Stats, DistinctProjectionCollapses) {
+  CooTensor t(shape_t{2, 2, 2});
+  t.push_back(std::array<index_t, 3>{0, 0, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{0, 0, 1}, 1.0);
+  t.push_back(std::array<index_t, 3>{0, 1, 0}, 1.0);
+  EXPECT_EQ(distinct_projection_count(t, 0b001), 1u);
+  EXPECT_EQ(distinct_projection_count(t, 0b011), 2u);
+  EXPECT_EQ(distinct_projection_count(t, 0b111), 3u);
+}
+
+TEST(Stats, DistinctProjectionEmptySet) {
+  const auto t = make_example();
+  EXPECT_EQ(distinct_projection_count(t, 0), 1u);
+}
+
+TEST(Stats, PrefixFiberCountsHandExample) {
+  CooTensor t(shape_t{2, 2, 2});
+  t.push_back(std::array<index_t, 3>{0, 0, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{0, 0, 1}, 1.0);
+  t.push_back(std::array<index_t, 3>{0, 1, 0}, 1.0);
+  t.push_back(std::array<index_t, 3>{1, 1, 1}, 1.0);
+  const std::array<mode_t, 3> order{0, 1, 2};
+  const auto fibers = prefix_fiber_counts(t, order);
+  EXPECT_EQ(fibers, (std::vector<nnz_t>{2, 3, 4}));
+}
+
+TEST(Stats, PrefixFiberCountsLastLevelIsNnz) {
+  const auto t = generate_uniform(shape_t{40, 40, 40, 40}, 2000, 9);
+  std::array<mode_t, 4> order{2, 0, 3, 1};
+  const auto fibers = prefix_fiber_counts(t, order);
+  EXPECT_EQ(fibers.back(), t.nnz());
+  // Fiber counts are non-decreasing with depth.
+  for (std::size_t l = 1; l < fibers.size(); ++l)
+    EXPECT_LE(fibers[l - 1], fibers[l]);
+}
+
+TEST(Stats, PrefixFiberMatchesDistinctProjections) {
+  const auto t = generate_zipf(shape_t{60, 60, 60}, 3000, 1.2, 13);
+  const std::array<mode_t, 3> order{1, 2, 0};
+  const auto fibers = prefix_fiber_counts(t, order);
+  EXPECT_EQ(fibers[0], distinct_projection_count(t, 0b010));
+  EXPECT_EQ(fibers[1], distinct_projection_count(t, 0b110));
+  EXPECT_EQ(fibers[2], distinct_projection_count(t, 0b111));
+}
+
+}  // namespace
+}  // namespace mdcp

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/tensor_io.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+namespace {
+
+TEST(TensorIo, ReadsBasicTns) {
+  std::istringstream in("1 2 3 4.5\n2 1 1 -1\n");
+  const CooTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 2u);
+  EXPECT_EQ(t.dim(2), 3u);
+  EXPECT_EQ(t.index(0, 0), 0u);
+  EXPECT_EQ(t.index(2, 0), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0), 4.5);
+  EXPECT_DOUBLE_EQ(t.value(1), -1.0);
+}
+
+TEST(TensorIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n  # indented comment\n1 1 2\n");
+  const CooTensor t = read_tns(in);
+  EXPECT_EQ(t.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(t.value(0), 2.0);
+}
+
+TEST(TensorIo, ShapeHintValidated) {
+  std::istringstream in("1 1 1\n");
+  const CooTensor t = read_tns(in, shape_t{5, 7});
+  EXPECT_EQ(t.dim(0), 5u);
+  EXPECT_EQ(t.dim(1), 7u);
+}
+
+TEST(TensorIo, ShapeHintArityMismatchThrows) {
+  std::istringstream in("1 1 1\n");
+  EXPECT_THROW(read_tns(in, shape_t{5, 7, 2}), error);
+}
+
+TEST(TensorIo, InconsistentArityThrows) {
+  std::istringstream in("1 1 1\n1 1 1 1\n");
+  EXPECT_THROW(read_tns(in), error);
+}
+
+TEST(TensorIo, EmptyStreamThrows) {
+  std::istringstream in("# nothing here\n");
+  EXPECT_THROW(read_tns(in), error);
+}
+
+TEST(TensorIo, ZeroIndexThrows) {
+  std::istringstream in("0 1 1\n");
+  EXPECT_THROW(read_tns(in), error);
+}
+
+TEST(TensorIo, RoundTripPreservesTensor) {
+  CooTensor t(shape_t{3, 4, 2});
+  t.push_back(std::array<index_t, 3>{0, 3, 1}, 1.25);
+  t.push_back(std::array<index_t, 3>{2, 0, 0}, -7.5);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  const CooTensor back = read_tns(in, t.shape());
+  EXPECT_EQ(t, back);
+}
+
+TEST(TensorIo, RoundTripHighPrecisionValues) {
+  CooTensor t(shape_t{2, 2});
+  t.push_back(std::array<index_t, 2>{0, 0}, 0.1234567890123456789);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  const CooTensor back = read_tns(in, t.shape());
+  EXPECT_DOUBLE_EQ(back.value(0), t.value(0));
+}
+
+TEST(TensorIo, FileRoundTrip) {
+  CooTensor t(shape_t{4, 4});
+  t.push_back(std::array<index_t, 2>{1, 2}, 3.0);
+  const std::string path = ::testing::TempDir() + "/mdcp_io_test.tns";
+  write_tns_file(path, t);
+  const CooTensor back = read_tns_file(path, t.shape());
+  EXPECT_EQ(t, back);
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(read_tns_file("/nonexistent/path/x.tns"), error);
+}
+
+}  // namespace
+}  // namespace mdcp

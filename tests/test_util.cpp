@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/span_util.hpp"
+#include "util/types.hpp"
+
+namespace mdcp {
+namespace {
+
+TEST(Types, AllModesMask) {
+  EXPECT_EQ(all_modes(0), 0u);
+  EXPECT_EQ(all_modes(1), 1u);
+  EXPECT_EQ(all_modes(3), 0b111u);
+  EXPECT_EQ(mode_count(all_modes(7)), 7);
+}
+
+TEST(Types, ModeIn) {
+  const mode_set_t s = 0b1010;
+  EXPECT_FALSE(mode_in(s, 0));
+  EXPECT_TRUE(mode_in(s, 1));
+  EXPECT_FALSE(mode_in(s, 2));
+  EXPECT_TRUE(mode_in(s, 3));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const real_t x = rng.next_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - 1000);
+    EXPECT_LT(c, n / 10 + 1000);
+  }
+}
+
+TEST(Rng, NormalMomentsReasonable) {
+  Rng rng(13);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.next_normal());
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Zipf, SamplesWithinUniverse) {
+  Rng rng(17);
+  ZipfSampler z(100, 1.2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, SkewFavorsSmallRanks) {
+  Rng rng(19);
+  ZipfSampler z(1000, 1.5);
+  int low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) low += z.sample(rng) < 10;
+  // With exponent 1.5, the first 10 ranks carry well over a third of mass.
+  EXPECT_GT(low, n / 3);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  Rng rng(23);
+  ZipfSampler z(50, 0.0);
+  std::vector<int> counts(50, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 50 / 2);
+    EXPECT_LT(c, n / 50 * 2);
+  }
+}
+
+TEST(Zipf, RejectsEmptyUniverse) { EXPECT_THROW(ZipfSampler(0, 1.0), error); }
+
+TEST(SplitMix, IsDeterministicAndMixes) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Parallel, ChunkRangeCoversAll) {
+  for (nnz_t n : {0ULL, 1ULL, 7ULL, 100ULL, 101ULL}) {
+    for (int parts : {1, 2, 3, 7, 16}) {
+      nnz_t total = 0;
+      nnz_t prev_end = 0;
+      for (int p = 0; p < parts; ++p) {
+        const auto r = chunk_range(n, parts, p);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_LE(r.begin, r.end);
+        total += r.end - r.begin;
+        prev_end = r.end;
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(Parallel, ChunkSizesBalanced) {
+  const auto a = chunk_range(10, 3, 0);
+  const auto b = chunk_range(10, 3, 1);
+  const auto c = chunk_range(10, 3, 2);
+  EXPECT_EQ(a.end - a.begin, 4u);
+  EXPECT_EQ(b.end - b.begin, 3u);
+  EXPECT_EQ(c.end - c.begin, 3u);
+}
+
+TEST(Parallel, ParallelForVisitsEachOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(1000, [&](nnz_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, SetNumThreadsReflected) {
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+}
+
+TEST(SpanUtil, ExclusiveScan) {
+  const std::vector<nnz_t> in{3, 0, 2, 5};
+  const auto out = exclusive_scan_with_total(std::span<const nnz_t>{in});
+  const std::vector<nnz_t> expect{0, 3, 3, 5, 10};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(SpanUtil, IdentityPermutation) {
+  const auto p = identity_permutation(4);
+  const std::vector<nnz_t> expect{0, 1, 2, 3};
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Error, CheckMacroThrowsWithMessage) {
+  try {
+    MDCP_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mdcp

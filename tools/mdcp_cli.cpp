@@ -1,0 +1,265 @@
+// mdcp command-line tool.
+//
+//   mdcp_cli stats <tensor.tns>
+//   mdcp_cli generate --kind uniform|zipf|clustered --shape I1xI2x... \
+//                     --nnz N [--seed S] [--zipf-exp E] [--clusters C] --out F
+//   mdcp_cli tune <tensor.tns> [--rank R] [--budget-mb M] [--probe]
+//   mdcp_cli decompose <tensor.tns> [--rank R] [--engine NAME] [--iters K]
+//                      [--tol T] [--seed S] [--restarts N] [--nonnegative]
+//                      [--threads T] [--out-prefix P]
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mdcp.hpp"
+
+namespace {
+
+using namespace mdcp;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mdcp_cli stats <tensor.tns>\n"
+               "  mdcp_cli generate --kind uniform|zipf|clustered "
+               "--shape I1xI2x... --nnz N\n"
+               "                    [--seed S] [--zipf-exp E] [--clusters C] "
+               "--out FILE\n"
+               "  mdcp_cli tune <tensor.tns> [--rank R] [--budget-mb M] "
+               "[--probe]\n"
+               "  mdcp_cli decompose <tensor.tns> [--rank R] [--engine E] "
+               "[--iters K] [--tol T]\n"
+               "                     [--seed S] [--restarts N] [--algorithm als|mu] "
+               "[--nonnegative] [--threads T]\n"
+               "                     [--out-prefix P]\n"
+               "\n"
+               "engines: coo bcoo ttv-chain csf csf1 dtree-flat dtree-3lvl "
+               "dtree-bdt auto auto+probe\n");
+  std::exit(1);
+}
+
+// Minimal --flag / --key value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          kv_[key] = argv[++i];
+        } else {
+          kv_[key] = "";  // boolean flag
+        }
+      } else {
+        positional_.push_back(std::move(a));
+      }
+    }
+  }
+
+  bool has(const std::string& k) const { return kv_.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& def = "") const {
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? def : it->second;
+  }
+  double get_num(const std::string& k, double def) const {
+    const auto it = kv_.find(k);
+    return it == kv_.end() ? def : std::atof(it->second.c_str());
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+shape_t parse_shape(const std::string& s) {
+  shape_t shape;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('x', pos);
+    const std::string tok = s.substr(pos, next == std::string::npos
+                                               ? std::string::npos
+                                               : next - pos);
+    const long v = std::atol(tok.c_str());
+    if (v <= 0) usage("bad --shape (expect e.g. 100x200x300)");
+    shape.push_back(static_cast<index_t>(v));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (shape.empty()) usage("empty --shape");
+  return shape;
+}
+
+EngineKind parse_engine(const std::string& name) {
+  static const std::map<std::string, EngineKind> kinds{
+      {"coo", EngineKind::kCoo},
+      {"bcoo", EngineKind::kBlockedCoo},
+      {"ttv-chain", EngineKind::kTtvChain},
+      {"csf", EngineKind::kCsf},
+      {"csf1", EngineKind::kCsfOne},
+      {"dtree-flat", EngineKind::kDTreeFlat},
+      {"dtree-3lvl", EngineKind::kDTreeThreeLevel},
+      {"dtree-bdt", EngineKind::kDTreeBdt},
+      {"auto", EngineKind::kAuto},
+      {"auto+probe", EngineKind::kAutoProbed},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) usage(("unknown engine: " + name).c_str());
+  return it->second;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional().empty()) usage("stats needs a tensor file");
+  const CooTensor t = read_tns_file(args.positional()[0]);
+  const auto s = compute_stats(t);
+  std::printf("%s\n", s.to_string().c_str());
+  for (mdcp::mode_t m = 0; m < t.order(); ++m) {
+    std::printf("mode %u: size %u, used %u (%.1f%%), avg slice nnz %.1f\n", m,
+                t.dim(m), s.distinct_per_mode[m],
+                100.0 * s.distinct_per_mode[m] / t.dim(m),
+                s.avg_slice_nnz[m]);
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind", "uniform");
+  const shape_t shape = parse_shape(args.get("shape"));
+  const auto nnz = static_cast<nnz_t>(args.get_num("nnz", 0));
+  if (nnz == 0) usage("generate needs --nnz");
+  const auto seed = static_cast<std::uint64_t>(args.get_num("seed", 1));
+  const std::string out = args.get("out");
+  if (out.empty()) usage("generate needs --out");
+
+  CooTensor t;
+  if (kind == "uniform") {
+    t = generate_uniform(shape, nnz, seed);
+  } else if (kind == "zipf") {
+    t = generate_zipf(shape, nnz, args.get_num("zipf-exp", 1.1), seed);
+  } else if (kind == "clustered") {
+    ClusteredOptions opt;
+    opt.clusters = static_cast<index_t>(args.get_num("clusters", 64));
+    t = generate_clustered(shape, nnz, opt, seed);
+  } else {
+    usage(("unknown --kind: " + kind).c_str());
+  }
+  write_tns_file(out, t);
+  std::printf("wrote %s: %s\n", out.c_str(), t.summary().c_str());
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  if (args.positional().empty()) usage("tune needs a tensor file");
+  const CooTensor t = read_tns_file(args.positional()[0]);
+  const auto rank = static_cast<index_t>(args.get_num("rank", 16));
+  const auto budget = static_cast<std::size_t>(
+      args.get_num("budget-mb", 0) * 1024.0 * 1024.0);
+
+  const TunerReport report =
+      args.has("probe") ? select_strategy_probed(t, rank, budget)
+                        : select_strategy(t, rank, budget);
+  std::printf("%-16s %-28s %-12s %-12s %s\n", "strategy", "tree", "pred-time",
+              "memory", "fits-budget");
+  for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+    const auto& rs = report.ranked[i];
+    std::printf("%-16s %-28s %-12.4g %-12zu %s%s\n", rs.strategy.name.c_str(),
+                rs.strategy.spec.to_string().c_str(),
+                rs.prediction.seconds_per_iteration,
+                rs.prediction.total_memory_bytes(),
+                rs.fits_budget ? "yes" : "no",
+                i == report.chosen ? "   <== chosen" : "");
+  }
+  return 0;
+}
+
+void write_factor(const std::string& path, const Matrix& f) {
+  std::ofstream os(path);
+  MDCP_CHECK_MSG(os.good(), "cannot write " << path);
+  os.precision(17);
+  for (index_t i = 0; i < f.rows(); ++i) {
+    for (index_t r = 0; r < f.cols(); ++r) {
+      if (r) os << ' ';
+      os << f(i, r);
+    }
+    os << '\n';
+  }
+}
+
+int cmd_decompose(const Args& args) {
+  if (args.positional().empty()) usage("decompose needs a tensor file");
+  const CooTensor t = read_tns_file(args.positional()[0]);
+  std::printf("input: %s\n", t.summary().c_str());
+
+  if (args.has("threads"))
+    set_num_threads(static_cast<int>(args.get_num("threads", 1)));
+
+  CpAlsOptions opt;
+  opt.rank = static_cast<index_t>(args.get_num("rank", 16));
+  opt.max_iterations = static_cast<int>(args.get_num("iters", 50));
+  opt.tolerance = static_cast<real_t>(args.get_num("tol", 1e-5));
+  opt.seed = static_cast<std::uint64_t>(args.get_num("seed", 42));
+  opt.engine = parse_engine(args.get("engine", "auto"));
+  opt.nonnegative = args.has("nonnegative");
+  opt.memory_budget_bytes = static_cast<std::size_t>(
+      args.get_num("budget-mb", 0) * 1024.0 * 1024.0);
+  opt.verbose = args.has("verbose");
+
+  const int restarts = static_cast<int>(args.get_num("restarts", 1));
+  const std::string algorithm = args.get("algorithm", "als");
+  CpAlsResult result;
+  if (algorithm == "mu") {
+    result = cp_mu(t, opt);
+  } else if (algorithm == "als") {
+    result = restarts > 1 ? cp_als_best_of(t, opt, restarts) : cp_als(t, opt);
+  } else {
+    usage(("unknown --algorithm: " + algorithm).c_str());
+  }
+
+  std::printf("engine: %s\n", result.engine_name.c_str());
+  std::printf("iterations: %d (%s)\n", result.iterations,
+              result.converged ? "converged" : "max-iters");
+  std::printf("final fit: %.6f\n", static_cast<double>(result.final_fit()));
+  std::printf("time: total %.3fs  mttkrp %.3fs  dense %.3fs  fit %.3fs\n",
+              result.total_seconds, result.mttkrp_seconds,
+              result.dense_seconds, result.fit_seconds);
+
+  const std::string prefix = args.get("out-prefix");
+  if (!prefix.empty()) {
+    {
+      std::ofstream os(prefix + ".lambda");
+      os.precision(17);
+      for (real_t w : result.model.weights) os << w << '\n';
+    }
+    for (mdcp::mode_t m = 0; m < t.order(); ++m)
+      write_factor(prefix + ".U" + std::to_string(m),
+                   result.model.factors[m]);
+    std::printf("wrote %s.lambda and %s.U0..U%u\n", prefix.c_str(),
+                prefix.c_str(), t.order() - 1);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "tune") return cmd_tune(args);
+    if (cmd == "decompose") return cmd_decompose(args);
+    usage(("unknown command: " + cmd).c_str());
+  } catch (const mdcp::error& e) {
+    std::fprintf(stderr, "mdcp error: %s\n", e.what());
+    return 2;
+  }
+}
