@@ -4,13 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "csf/csf_mttkrp.hpp"
-#include "csf/csf_one_mttkrp.hpp"
-#include "dtree/dtree_engine.hpp"
-#include "model/tuner.hpp"
-#include "mttkrp/blocked_coo.hpp"
-#include "mttkrp/coo_mttkrp.hpp"
-#include "mttkrp/ttv_chain.hpp"
+#include "mttkrp/registry.hpp"
 
 namespace mdcp::bench {
 
@@ -45,37 +39,23 @@ std::vector<Dataset> standard_datasets() {
 }
 
 std::vector<EngineColumn> engine_columns(bool include_ttv_chain) {
+  // Column order follows the registry's registration order. The TTV chain is
+  // opt-in (orders of magnitude slower), and the probed auto variant is
+  // skipped — its shortlist sweeps would dominate the table's run time.
   std::vector<EngineColumn> cols;
-  cols.push_back({"coo", [](const CooTensor& t, index_t) {
-                    return std::make_unique<CooMttkrpEngine>(t);
-                  }});
-  cols.push_back({"bcoo", [](const CooTensor& t, index_t) {
-                    return std::make_unique<BlockedCooEngine>(t);
-                  }});
-  if (include_ttv_chain) {
-    cols.push_back({"ttv-chain", [](const CooTensor& t, index_t) {
-                      return std::make_unique<TtvChainEngine>(t);
-                    }});
+  for (const auto& name : EngineRegistry::instance().names()) {
+    if (name == "ttv-chain" && !include_ttv_chain) continue;
+    if (name == "auto+probe") continue;
+    cols.push_back({name, name});
   }
-  cols.push_back({"csf", [](const CooTensor& t, index_t) {
-                    return std::make_unique<CsfMttkrpEngine>(t);
-                  }});
-  cols.push_back({"csf1", [](const CooTensor& t, index_t) {
-                    return std::make_unique<CsfOneMttkrpEngine>(t);
-                  }});
-  cols.push_back({"dtree-flat", [](const CooTensor& t, index_t) {
-                    return make_dtree_flat(t);
-                  }});
-  cols.push_back({"dtree-3lvl", [](const CooTensor& t, index_t) {
-                    return make_dtree_three_level(t);
-                  }});
-  cols.push_back({"dtree-bdt", [](const CooTensor& t, index_t) {
-                    return make_dtree_bdt(t);
-                  }});
-  cols.push_back({"auto", [](const CooTensor& t, index_t rank) {
-                    return make_auto_engine(t, rank);
-                  }});
   return cols;
+}
+
+std::unique_ptr<MttkrpEngine> make_column_engine(const EngineColumn& col,
+                                                 const CooTensor& tensor,
+                                                 index_t rank,
+                                                 KernelContext ctx) {
+  return make_engine(col.engine, tensor, rank, ctx);
 }
 
 double time_mttkrp_sweep(MttkrpEngine& engine, const CooTensor& tensor,

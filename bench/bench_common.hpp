@@ -34,13 +34,20 @@ double bench_scale();
 /// The standard dataset battery (sizes multiplied by bench_scale()).
 std::vector<Dataset> standard_datasets();
 
-/// One engine instance per benchmark column, in canonical table order.
+/// One engine per benchmark column, identified by its EngineRegistry name.
+/// The column list is derived from the registry, so engines registered at
+/// runtime appear in the tables automatically.
 struct EngineColumn {
-  std::string label;
-  std::function<std::unique_ptr<MttkrpEngine>(const CooTensor&, index_t rank)>
-      make;
+  std::string label;   ///< table header
+  std::string engine;  ///< EngineRegistry name
 };
 std::vector<EngineColumn> engine_columns(bool include_ttv_chain = false);
+
+/// Creates and prepares the column's engine for `tensor` at `rank`.
+std::unique_ptr<MttkrpEngine> make_column_engine(const EngineColumn& col,
+                                                 const CooTensor& tensor,
+                                                 index_t rank,
+                                                 KernelContext ctx = {});
 
 /// Minimum wall-time (seconds) over `reps` full MTTKRP sweeps (all N modes)
 /// with the CP-ALS invalidation schedule (factor_updated after each mode).

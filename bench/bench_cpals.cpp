@@ -32,7 +32,7 @@ int main() {
     std::printf("dataset: %s (%s)\n", ds.name.c_str(),
                 ds.tensor.summary().c_str());
     TablePrinter table({"engine", "iter-total", "mttkrp", "dense", "fit",
-                        "final-fit"},
+                        "symbolic", "numeric", "scratch", "final-fit"},
                        14);
     for (EngineKind k : kinds) {
       opt.engine = k;
@@ -41,6 +41,9 @@ int main() {
       std::ostringstream fit;
       fit.precision(4);
       fit << result.final_fit();
+      // symbolic/numeric/scratch come from the engine's KernelStats: the
+      // one-time prepare cost, the summed kernel time (a subset of the
+      // mttkrp wall column), and the peak per-thread workspace footprint.
       table.add_row(
           {result.engine_name,
            fmt_seconds((result.mttkrp_seconds + result.dense_seconds +
@@ -48,7 +51,10 @@ int main() {
                        iters),
            fmt_seconds(result.mttkrp_seconds / iters),
            fmt_seconds(result.dense_seconds / iters),
-           fmt_seconds(result.fit_seconds / iters), fit.str()});
+           fmt_seconds(result.fit_seconds / iters),
+           fmt_seconds(result.kernel_stats.symbolic_seconds),
+           fmt_seconds(result.kernel_stats.numeric_seconds / iters),
+           fmt_bytes(result.kernel_stats.peak_scratch_bytes), fit.str()});
     }
     table.print();
   }

@@ -32,7 +32,7 @@ int main() {
 
     std::vector<double> times;
     for (const auto& col : cols) {
-      const auto engine = col.make(ds.tensor, rank);
+      const auto engine = make_column_engine(col, ds.tensor, rank);
       times.push_back(time_mttkrp_sweep(*engine, ds.tensor, factors));
     }
     double csf_time = 0;

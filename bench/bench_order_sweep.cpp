@@ -46,7 +46,7 @@ int main() {
     double csf_time = 0, bdt_time = 0;
     for (const auto& col : cols) {
       if (col.label == "auto") continue;
-      const auto engine = col.make(t, rank);
+      const auto engine = make_column_engine(col, t, rank);
       const double secs = time_mttkrp_sweep(*engine, t, factors);
       if (col.label == "csf") csf_time = secs;
       if (col.label == "dtree-bdt") bdt_time = secs;

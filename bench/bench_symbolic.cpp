@@ -31,7 +31,7 @@ int main() {
     double coo_setup = 0;
     for (const auto& col : engine_columns()) {
       WallTimer setup_timer;
-      const auto engine = col.make(ds.tensor, rank);
+      const auto engine = make_column_engine(col, ds.tensor, rank);
       const double setup = setup_timer.seconds();
       const double iter = time_mttkrp_sweep(*engine, ds.tensor, factors, 2);
       if (col.label == "coo") {

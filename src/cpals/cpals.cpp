@@ -4,15 +4,10 @@
 #include <cmath>
 #include <cstdio>
 
-#include "csf/csf_mttkrp.hpp"
-#include "csf/csf_one_mttkrp.hpp"
-#include "dtree/dtree_engine.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "model/tuner.hpp"
-#include "mttkrp/blocked_coo.hpp"
-#include "mttkrp/coo_mttkrp.hpp"
-#include "mttkrp/ttv_chain.hpp"
+#include "mttkrp/registry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -34,46 +29,49 @@ const char* engine_kind_name(EngineKind kind) {
   return "unknown";
 }
 
+namespace {
+
+// Single construction path for both the enum and the string spelling. The
+// auto engines are special-cased only to thread the memory budget through —
+// every other name goes straight to the registry.
+std::unique_ptr<MttkrpEngine> make_named_engine(
+    const CooTensor& tensor, const std::string& name, index_t rank,
+    std::size_t memory_budget_bytes) {
+  if (memory_budget_bytes != 0 && (name == "auto" || name == "auto+probe")) {
+    auto engine = std::make_unique<AutoEngine>(name == "auto+probe",
+                                               memory_budget_bytes);
+    engine->prepare(tensor, rank);
+    return engine;
+  }
+  return make_engine(name, tensor, rank);
+}
+
+}  // namespace
+
 std::unique_ptr<MttkrpEngine> make_engine(const CooTensor& tensor,
                                           EngineKind kind, index_t rank,
                                           std::size_t memory_budget_bytes) {
-  switch (kind) {
-    case EngineKind::kCoo:
-      return std::make_unique<CooMttkrpEngine>(tensor);
-    case EngineKind::kBlockedCoo:
-      return std::make_unique<BlockedCooEngine>(tensor);
-    case EngineKind::kTtvChain:
-      return std::make_unique<TtvChainEngine>(tensor);
-    case EngineKind::kCsf:
-      return std::make_unique<CsfMttkrpEngine>(tensor);
-    case EngineKind::kCsfOne:
-      return std::make_unique<CsfOneMttkrpEngine>(tensor);
-    case EngineKind::kDTreeFlat:
-      return make_dtree_flat(tensor);
-    case EngineKind::kDTreeThreeLevel:
-      return make_dtree_three_level(tensor);
-    case EngineKind::kDTreeBdt:
-      return make_dtree_bdt(tensor);
-    case EngineKind::kAuto:
-      return make_auto_engine(tensor, rank, memory_budget_bytes);
-    case EngineKind::kAutoProbed:
-      return make_probed_engine(tensor, rank, memory_budget_bytes);
-  }
-  MDCP_CHECK_MSG(false, "unreachable engine kind");
-  return nullptr;
+  return make_named_engine(tensor, engine_kind_name(kind), rank,
+                           memory_budget_bytes);
 }
 
 CpAlsResult cp_als(const CooTensor& tensor, const CpAlsOptions& options) {
-  const auto engine = make_engine(tensor, options.engine, options.rank,
-                                  options.memory_budget_bytes);
+  const std::string name = options.engine_name.empty()
+                               ? engine_kind_name(options.engine)
+                               : options.engine_name;
+  const auto engine = make_named_engine(tensor, name, options.rank,
+                                        options.memory_budget_bytes);
   return cp_als(tensor, *engine, options);
 }
 
 CpAlsResult cp_als_best_of(const CooTensor& tensor,
                            const CpAlsOptions& options, int num_starts) {
   MDCP_CHECK_MSG(num_starts > 0, "need at least one start");
-  const auto engine = make_engine(tensor, options.engine, options.rank,
-                                  options.memory_budget_bytes);
+  const std::string name = options.engine_name.empty()
+                               ? engine_kind_name(options.engine)
+                               : options.engine_name;
+  const auto engine = make_named_engine(tensor, name, options.rank,
+                                        options.memory_budget_bytes);
   CpAlsResult best;
   for (int s = 0; s < num_starts; ++s) {
     CpAlsOptions opt = options;
@@ -92,6 +90,8 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   const index_t rank = options.rank;
 
   engine.invalidate_all();
+  if (!engine.prepared()) engine.prepare(tensor, rank);
+  const KernelStats stats_before = engine.stats();
 
   CpAlsResult result;
   result.engine_name = engine.name();
@@ -200,6 +200,7 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   result.dense_seconds = dense_t.total_seconds();
   result.fit_seconds = fit_t.total_seconds();
   result.total_seconds = total_timer.seconds();
+  result.kernel_stats = engine.stats().since(stats_before);
   return result;
 }
 

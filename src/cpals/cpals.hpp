@@ -18,7 +18,10 @@
 
 namespace mdcp {
 
-/// Selectable MTTKRP computation strategies.
+/// Selectable MTTKRP computation strategies. Each kind maps to an
+/// EngineRegistry name (engine_kind_name); new engines registered at runtime
+/// are reachable through CpAlsOptions::engine_name without extending this
+/// enum.
 enum class EngineKind {
   kCoo,             ///< direct COO kernel (no factoring, no memoization)
   kBlockedCoo,      ///< HiCOO-style blocked COO (8-bit local offsets)
@@ -34,10 +37,10 @@ enum class EngineKind {
 
 const char* engine_kind_name(EngineKind kind);
 
-/// Constructs an engine of the requested kind. `rank` and
-/// `memory_budget_bytes` are consulted only by kAuto (the model needs the
-/// rank to predict costs; 0 budget = unlimited). The tensor must outlive the
-/// engine.
+/// Constructs a prepared engine of the requested kind via the registry.
+/// `rank` sizes workspace scratch and drives the model for kAuto;
+/// `memory_budget_bytes` is consulted only by kAuto/kAutoProbed (0 budget =
+/// unlimited). The tensor must outlive the engine.
 std::unique_ptr<MttkrpEngine> make_engine(const CooTensor& tensor,
                                           EngineKind kind, index_t rank = 16,
                                           std::size_t memory_budget_bytes = 0);
@@ -52,6 +55,9 @@ struct CpAlsOptions {
   real_t ridge = 0;
   std::uint64_t seed = 42;   ///< factor initialization seed
   EngineKind engine = EngineKind::kDTreeBdt;
+  /// Registry engine name; when non-empty it overrides `engine`. This is how
+  /// the CLI and engines registered at runtime are selected.
+  std::string engine_name;
   std::size_t memory_budget_bytes = 0;  ///< for kAuto; 0 = unlimited
   /// Projected nonnegative ALS: clamp each factor update at zero before
   /// normalization (multilinear NMF-style decompositions for count data).
@@ -72,10 +78,15 @@ struct CpAlsResult {
   double fit_seconds = 0;
   double total_seconds = 0;
 
+  /// Engine-side counters for this run only (symbolic/numeric split, flops,
+  /// peak workspace scratch) — the delta of the engine's KernelStats.
+  KernelStats kernel_stats;
+
   real_t final_fit() const { return fits.empty() ? 0 : fits.back(); }
 };
 
-/// Runs CP-ALS with an engine created according to `options.engine`.
+/// Runs CP-ALS with an engine created according to `options.engine_name`
+/// (falling back to `options.engine`).
 CpAlsResult cp_als(const CooTensor& tensor, const CpAlsOptions& options);
 
 /// Runs CP-ALS with a caller-provided engine (reused across calls — the

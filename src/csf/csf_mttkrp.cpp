@@ -1,7 +1,5 @@
 #include "csf/csf_mttkrp.hpp"
 
-#include <vector>
-
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -9,20 +7,24 @@ namespace mdcp {
 
 namespace {
 
-// Per-thread traversal state: one length-R accumulator per CSF level.
+// Per-thread traversal state: one length-R accumulator per CSF level,
+// carved out of a single workspace slab (acc(l) = slab[l*r, (l+1)*r)).
 struct Scratch {
-  std::vector<std::vector<real_t>> acc;  // [level][r]
-  Scratch(mode_t order, index_t r)
-      : acc(order, std::vector<real_t>(r, 0)) {}
+  std::span<real_t> slab;
+  index_t r;
+
+  std::span<real_t> acc(mode_t level) const {
+    return slab.subspan(static_cast<std::size_t>(level) * r, r);
+  }
 };
 
-// Accumulates g(fiber f at level l) into s.acc[l]:
+// Accumulates g(fiber f at level l) into s.acc(l):
 //   g(leaf entry)  = val · U_leafmode(fid, :)
 //   g(inner fiber) = U_levelmode(fid, :) ∘ Σ_children g(child)
 void subtree(const CsfTensor& csf, const std::vector<Matrix>& factors,
-             mode_t level, nnz_t fiber, index_t r, Scratch& s) {
+             mode_t level, nnz_t fiber, index_t r, const Scratch& s) {
   const mode_t leaf = static_cast<mode_t>(csf.order() - 1);
-  auto& acc = s.acc[level];
+  const auto acc = s.acc(level);
   if (level == leaf) {
     const auto row = factors[csf.mode_order()[leaf]].row(csf.fids(leaf)[fiber]);
     const real_t v = csf.values()[fiber];
@@ -33,7 +35,7 @@ void subtree(const CsfTensor& csf, const std::vector<Matrix>& factors,
   const auto ptr = csf.fptr(level);
   for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
     subtree(csf, factors, static_cast<mode_t>(level + 1), c, r, s);
-    const auto& child = s.acc[level + 1];
+    const auto child = s.acc(static_cast<mode_t>(level + 1));
     for (index_t k = 0; k < r; ++k) acc[k] += child[k];
   }
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
@@ -43,11 +45,12 @@ void subtree(const CsfTensor& csf, const std::vector<Matrix>& factors,
 }  // namespace
 
 void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
-                     Matrix& out) {
+                     Matrix& out, Workspace* ws) {
   MDCP_CHECK_MSG(factors.size() == csf.order(), "one factor per mode required");
   const index_t r = factors[0].cols();
   const mode_t root_mode = csf.mode_order()[0];
   out.resize(csf.shape()[root_mode], r, 0);
+  if (ws == nullptr) ws = &default_workspace();
 
   if (csf.order() == 1) {
     // Degenerate: MTTKRP of a vector is the vector itself.
@@ -62,32 +65,50 @@ void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
 
 #pragma omp parallel
   {
-    Scratch s(csf.order(), r);
+    const Scratch s{
+        ws->thread_scratch<real_t>(static_cast<std::size_t>(csf.order()) * r),
+        r};
 #pragma omp for schedule(dynamic, 8)
     for (std::int64_t f = 0; f < static_cast<std::int64_t>(num_roots); ++f) {
       auto orow = out.row(root_ids[static_cast<nnz_t>(f)]);
       for (nnz_t c = root_ptr[static_cast<nnz_t>(f)];
            c < root_ptr[static_cast<nnz_t>(f) + 1]; ++c) {
         subtree(csf, factors, 1, c, r, s);
-        const auto& child = s.acc[1];
+        const auto child = s.acc(1);
         for (index_t k = 0; k < r; ++k) orow[k] += child[k];
       }
     }
   }
 }
 
-CsfMttkrpEngine::CsfMttkrpEngine(const CooTensor& tensor) {
-  csfs_.reserve(tensor.order());
-  for (mode_t m = 0; m < tensor.order(); ++m) {
-    csfs_.push_back(std::make_unique<CsfTensor>(
-        tensor, CsfTensor::default_order(tensor, m)));
-  }
+CsfMttkrpEngine::CsfMttkrpEngine(KernelContext ctx) : MttkrpEngine(ctx) {}
+
+CsfMttkrpEngine::CsfMttkrpEngine(const CooTensor& tensor, KernelContext ctx)
+    : MttkrpEngine(ctx) {
+  prepare(tensor);
 }
 
-void CsfMttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
-                              Matrix& out) {
+void CsfMttkrpEngine::do_prepare(index_t rank) {
+  const CooTensor& t = tensor();
+  csfs_.clear();
+  csfs_.reserve(t.order());
+  for (mode_t m = 0; m < t.order(); ++m) {
+    csfs_.push_back(std::make_unique<CsfTensor>(
+        t, CsfTensor::default_order(t, m)));
+  }
+  if (rank > 0)
+    workspace().reserve(effective_threads(),
+                        static_cast<std::size_t>(t.order()) * rank *
+                            sizeof(real_t));
+}
+
+void CsfMttkrpEngine::do_compute(mode_t mode,
+                                 const std::vector<Matrix>& factors,
+                                 Matrix& out) {
   MDCP_CHECK(mode < csfs_.size());
-  csf_mttkrp_root(*csfs_[mode], factors, out);
+  csf_mttkrp_root(*csfs_[mode], factors, out, ctx_.workspace);
+  count_flops(static_cast<std::uint64_t>(csfs_[mode]->nnz()) *
+              factors[0].cols() * csfs_[mode]->order());
 }
 
 std::size_t CsfMttkrpEngine::memory_bytes() const {

@@ -9,7 +9,10 @@
 // so every MTTKRP is a root-mode traversal. This is the state-of-the-art
 // baseline the memoized dimension-tree engines are evaluated against: it
 // factors work *within* one mode's traversal but recomputes everything
-// *across* modes — N full traversals per CP-ALS iteration.
+// *across* modes — N full traversals per CP-ALS iteration. Per-thread
+// traversal accumulators (one length-R vector per CSF level) come from the
+// workspace, hoisted out of the per-root recursion and reused across
+// compute() calls.
 #pragma once
 
 #include <memory>
@@ -20,22 +23,27 @@
 namespace mdcp {
 
 /// out = MTTKRP in mode csf.mode_order()[0]. out is resized to
-/// (dim(root mode) × R). Parallel over root fibers; deterministic.
+/// (dim(root mode) × R). Parallel over root fibers; deterministic. Scratch
+/// comes from `ws` (null = the default workspace).
 void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
-                     Matrix& out);
+                     Matrix& out, Workspace* ws = nullptr);
 
 class CsfMttkrpEngine final : public MttkrpEngine {
  public:
-  /// Builds one CSF rooted at every mode. The tensor may be discarded after
-  /// construction (the CSFs are self-contained).
-  explicit CsfMttkrpEngine(const CooTensor& tensor);
+  explicit CsfMttkrpEngine(KernelContext ctx = {});
+  /// Convenience: construct and prepare (builds one CSF rooted at every
+  /// mode) in one step.
+  explicit CsfMttkrpEngine(const CooTensor& tensor, KernelContext ctx = {});
 
-  void compute(mode_t mode, const std::vector<Matrix>& factors,
-               Matrix& out) override;
   std::string name() const override { return "csf"; }
   std::size_t memory_bytes() const override;
 
   const CsfTensor& csf_for_mode(mode_t mode) const { return *csfs_[mode]; }
+
+ protected:
+  void do_prepare(index_t rank) override;
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override;
 
  private:
   std::vector<std::unique_ptr<CsfTensor>> csfs_;

@@ -10,24 +10,34 @@ namespace mdcp {
 
 namespace {
 
-// Per-thread traversal scratch: one suffix accumulator and one prefix
-// buffer per CSF level (avoids per-fiber allocation in the hot recursion).
+// Per-thread traversal scratch carved out of one workspace slab: one suffix
+// accumulator per CSF level (acc) and one prefix buffer per level+1 (pre).
+// Layout: [acc(0..order) | pre(0..order+1)], each length r.
 struct Scratch {
-  std::vector<std::vector<real_t>> acc;
-  std::vector<std::vector<real_t>> pre;
-  Scratch(mode_t order, index_t r)
-      : acc(order, std::vector<real_t>(r, 0)),
-        pre(order + 1, std::vector<real_t>(r, 1)) {}
+  std::span<real_t> slab;
+  mode_t order;
+  index_t r;
+
+  static std::size_t reals(mode_t order, index_t r) {
+    return (static_cast<std::size_t>(order) * 2 + 1) * r;
+  }
+  std::span<real_t> acc(mode_t level) const {
+    return slab.subspan(static_cast<std::size_t>(level) * r, r);
+  }
+  std::span<real_t> pre(mode_t level) const {
+    return slab.subspan((static_cast<std::size_t>(order) +
+                         static_cast<std::size_t>(level)) * r, r);
+  }
 };
 
 // Bottom-up subtree sum below `fiber` at `level` (strictly below the output
-// level): returns in s.acc[level] the value
+// level): returns in s.acc(level) the value
 //   Σ_{paths below} val · ∘_{k>level_out, k<=N-1, k passed} U rows
 // including this fiber's own row. Identical to the root-kernel recursion.
 void suffix_below(const CsfTensor& csf, const std::vector<Matrix>& factors,
-                  mode_t level, nnz_t fiber, index_t r, Scratch& s) {
+                  mode_t level, nnz_t fiber, index_t r, const Scratch& s) {
   const auto leaf = static_cast<mode_t>(csf.order() - 1);
-  auto& acc = s.acc[level];
+  const auto acc = s.acc(level);
   if (level == leaf) {
     const auto row = factors[csf.mode_order()[leaf]].row(csf.fids(leaf)[fiber]);
     const real_t v = csf.values()[fiber];
@@ -38,7 +48,7 @@ void suffix_below(const CsfTensor& csf, const std::vector<Matrix>& factors,
   const auto ptr = csf.fptr(level);
   for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
     suffix_below(csf, factors, static_cast<mode_t>(level + 1), c, r, s);
-    const auto& child = s.acc[level + 1];
+    const auto child = s.acc(static_cast<mode_t>(level + 1));
     for (index_t k = 0; k < r; ++k) acc[k] += child[k];
   }
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
@@ -46,12 +56,12 @@ void suffix_below(const CsfTensor& csf, const std::vector<Matrix>& factors,
 }
 
 // Top-down walk from `level` to the output level `out_level`, carrying the
-// running prefix product in `prefix`; at out_level, writes
+// running prefix product in s.pre(level); at out_level, writes
 // prefix ∘ suffix(fiber) into fiber_buf(fiber, :).
 void descend(const CsfTensor& csf, const std::vector<Matrix>& factors,
              mode_t level, nnz_t fiber, mode_t out_level, index_t r,
-             Scratch& s, Matrix& fiber_buf) {
-  const auto& prefix = s.pre[level];
+             const Scratch& s, Matrix& fiber_buf) {
+  const auto prefix = s.pre(level);
   if (level == out_level) {
     auto out = fiber_buf.row(static_cast<index_t>(fiber));
     if (out_level == static_cast<mode_t>(csf.order() - 1)) {
@@ -65,7 +75,7 @@ void descend(const CsfTensor& csf, const std::vector<Matrix>& factors,
       const auto ptr = csf.fptr(out_level);
       for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
         suffix_below(csf, factors, static_cast<mode_t>(out_level + 1), c, r, s);
-        const auto& child = s.acc[out_level + 1];
+        const auto child = s.acc(static_cast<mode_t>(out_level + 1));
         for (index_t k = 0; k < r; ++k) out[k] += child[k];
       }
       for (index_t k = 0; k < r; ++k) out[k] *= prefix[k];
@@ -74,7 +84,7 @@ void descend(const CsfTensor& csf, const std::vector<Matrix>& factors,
   }
   // Multiply this level's factor row into the next level's prefix buffer.
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
-  auto& next = s.pre[level + 1];
+  const auto next = s.pre(static_cast<mode_t>(level + 1));
   for (index_t k = 0; k < r; ++k) next[k] = prefix[k] * row[k];
   const auto ptr = csf.fptr(level);
   for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c)
@@ -84,8 +94,20 @@ void descend(const CsfTensor& csf, const std::vector<Matrix>& factors,
 
 }  // namespace
 
+CsfOneMttkrpEngine::CsfOneMttkrpEngine(std::vector<mode_t> mode_order,
+                                       KernelContext ctx)
+    : MttkrpEngine(ctx), requested_order_(std::move(mode_order)) {}
+
 CsfOneMttkrpEngine::CsfOneMttkrpEngine(const CooTensor& tensor,
-                                       std::vector<mode_t> mode_order) {
+                                       std::vector<mode_t> mode_order,
+                                       KernelContext ctx)
+    : MttkrpEngine(ctx), requested_order_(std::move(mode_order)) {
+  prepare(tensor);
+}
+
+void CsfOneMttkrpEngine::do_prepare(index_t rank) {
+  const CooTensor& tensor = this->tensor();
+  std::vector<mode_t> mode_order = requested_order_;
   if (mode_order.empty()) {
     mode_order.resize(tensor.order());
     std::iota(mode_order.begin(), mode_order.end(), mode_t{0});
@@ -102,7 +124,7 @@ CsfOneMttkrpEngine::CsfOneMttkrpEngine(const CooTensor& tensor,
 
   // Scatter plans: group each level's fibers by their fid so phase 2 can be
   // parallel over output rows without write conflicts.
-  plans_.resize(csf_->order());
+  plans_.assign(csf_->order(), {});
   for (mode_t l = 0; l < csf_->order(); ++l) {
     ScatterPlan& plan = plans_[l];
     const auto fids = csf_->fids(l);
@@ -119,17 +141,21 @@ CsfOneMttkrpEngine::CsfOneMttkrpEngine(const CooTensor& tensor,
     }
     plan.row_start.push_back(plan.perm.size());
   }
+  if (rank > 0)
+    workspace().reserve(effective_threads(),
+                        Scratch::reals(csf_->order(), rank) * sizeof(real_t));
 }
 
-void CsfOneMttkrpEngine::compute(mode_t mode,
-                                 const std::vector<Matrix>& factors,
-                                 Matrix& out) {
+void CsfOneMttkrpEngine::do_compute(mode_t mode,
+                                    const std::vector<Matrix>& factors,
+                                    Matrix& out) {
   MDCP_CHECK(mode < level_of_mode_.size());
   const index_t r = factors[0].cols();
   MDCP_CHECK_MSG(factors.size() == csf_->order(), "one factor per mode");
   const auto out_level = level_of_mode_[mode];
   const CsfTensor& csf = *csf_;
   out.resize(csf.shape()[mode], r, 0);
+  Workspace& ws = workspace();
 
   // Phase 1: per-fiber contributions (parallel over root fibers; each
   // out_level fiber belongs to exactly one root subtree — race-free).
@@ -137,10 +163,12 @@ void CsfOneMttkrpEngine::compute(mode_t mode,
   const nnz_t num_roots = csf.num_fibers(0);
 #pragma omp parallel
   {
-    Scratch s(csf.order(), r);
+    const Scratch s{ws.thread_scratch<real_t>(Scratch::reals(csf.order(), r)),
+                    csf.order(), r};
 #pragma omp for schedule(dynamic, 8)
     for (std::int64_t f = 0; f < static_cast<std::int64_t>(num_roots); ++f) {
-      std::fill(s.pre[0].begin(), s.pre[0].end(), real_t{1});
+      const auto pre0 = s.pre(0);
+      std::fill(pre0.begin(), pre0.end(), real_t{1});
       descend(csf, factors, 0, static_cast<nnz_t>(f), out_level, r, s,
               fiber_buf_);
     }
@@ -158,10 +186,11 @@ void CsfOneMttkrpEngine::compute(mode_t mode,
       for (index_t k = 0; k < r; ++k) orow[k] += frow[k];
     }
   }
+  count_flops(static_cast<std::uint64_t>(csf.nnz()) * r * csf.order());
 }
 
 std::size_t CsfOneMttkrpEngine::memory_bytes() const {
-  std::size_t b = csf_->memory_bytes();
+  std::size_t b = csf_ ? csf_->memory_bytes() : 0;
   for (const auto& p : plans_) {
     b += p.perm.size() * sizeof(nnz_t);
     b += p.rows.size() * sizeof(index_t);

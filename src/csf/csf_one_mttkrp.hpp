@@ -11,7 +11,8 @@
 // two-phase plan: phase 1 computes per-fiber contributions in parallel
 // (race-free — each fiber is written by exactly one root subtree); phase 2
 // scatters fibers into rows via a precomputed fiber→row grouping, parallel
-// over rows and bitwise deterministic for any thread count.
+// over rows and bitwise deterministic for any thread count. Per-thread
+// suffix accumulators and prefix buffers come from the workspace.
 #pragma once
 
 #include <memory>
@@ -24,18 +25,24 @@ namespace mdcp {
 
 class CsfOneMttkrpEngine final : public MttkrpEngine {
  public:
-  /// Builds a single CSF under `mode_order` (empty = modes sorted by
-  /// increasing dimension, the SPLATT default). The tensor may be discarded
-  /// afterwards.
+  /// `mode_order` selects the CSF level order (empty = modes sorted by
+  /// increasing dimension, the SPLATT default).
+  explicit CsfOneMttkrpEngine(std::vector<mode_t> mode_order = {},
+                              KernelContext ctx = {});
+  /// Convenience: construct and prepare in one step.
   explicit CsfOneMttkrpEngine(const CooTensor& tensor,
-                              std::vector<mode_t> mode_order = {});
+                              std::vector<mode_t> mode_order = {},
+                              KernelContext ctx = {});
 
-  void compute(mode_t mode, const std::vector<Matrix>& factors,
-               Matrix& out) override;
   std::string name() const override { return "csf1"; }
   std::size_t memory_bytes() const override;
 
   const CsfTensor& csf() const noexcept { return *csf_; }
+
+ protected:
+  void do_prepare(index_t rank) override;
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override;
 
  private:
   struct ScatterPlan {
@@ -46,6 +53,7 @@ class CsfOneMttkrpEngine final : public MttkrpEngine {
     std::vector<nnz_t> row_start;
   };
 
+  std::vector<mode_t> requested_order_;   // prepare() input (may be empty)
   std::unique_ptr<CsfTensor> csf_;
   std::vector<mode_t> level_of_mode_;     // mode -> CSF level
   std::vector<ScatterPlan> plans_;        // one per CSF level

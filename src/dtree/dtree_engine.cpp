@@ -9,34 +9,49 @@
 
 namespace mdcp {
 
+DTreeMttkrpEngine::DTreeMttkrpEngine(TreeSpec spec, std::string display_name,
+                                     KernelContext ctx)
+    : MttkrpEngine(ctx), spec_(std::move(spec)), name_(std::move(display_name)) {}
+
 DTreeMttkrpEngine::DTreeMttkrpEngine(const CooTensor& tensor,
                                      const TreeSpec& spec,
-                                     std::string display_name)
-    : spec_(spec), tree_(tensor, spec_), name_(std::move(display_name)) {
-  peak_bytes_ = memory_bytes();
+                                     std::string display_name,
+                                     KernelContext ctx)
+    : MttkrpEngine(ctx), spec_(spec), name_(std::move(display_name)) {
+  prepare(tensor);
 }
 
-void DTreeMttkrpEngine::compute(mode_t mode,
-                                const std::vector<Matrix>& factors,
-                                Matrix& out) {
-  const index_t r = check_factors(tree_.tensor(), factors);
-  MDCP_CHECK(mode < tree_.order());
+void DTreeMttkrpEngine::do_prepare(index_t rank) {
+  tree_ = std::make_unique<DimensionTree>(tensor(), spec_);
+  rank_ = 0;
+  peak_bytes_ = memory_bytes();
+  if (rank > 0)
+    workspace().reserve(effective_threads(),
+                        static_cast<std::size_t>(rank) * sizeof(real_t));
+}
+
+void DTreeMttkrpEngine::do_compute(mode_t mode,
+                                   const std::vector<Matrix>& factors,
+                                   Matrix& out) {
+  DimensionTree& tree = *tree_;
+  const index_t r = check_factors(tree.tensor(), factors);
+  MDCP_CHECK(mode < tree.order());
   if (r != rank_) {
     // Rank changed since the last call: every cached value matrix has the
     // wrong width.
-    invalidate_all_nodes(tree_);
+    invalidate_all_nodes(tree);
     rank_ = r;
   }
 
-  const int leaf = tree_.leaf_for_mode(mode);
-  compute_node_values(tree_, leaf, factors, r);
+  const int leaf = tree.leaf_for_mode(mode);
+  count_flops(compute_node_values(tree, leaf, factors, r, workspace()));
   peak_bytes_ = std::max(peak_bytes_, memory_bytes());
 
   // Scatter the leaf tuples into the dense output (rows of unused indices
   // stay zero, matching the MTTKRP of empty slices).
-  const auto& ln = tree_.node(leaf);
-  out.resize(tree_.tensor().dim(mode), r, 0);
-  const auto rows = tree_.node_mode_index(leaf, mode);
+  const auto& ln = tree.node(leaf);
+  out.resize(tree.tensor().dim(mode), r, 0);
+  const auto rows = tree.node_mode_index(leaf, mode);
   parallel_for(ln.tuples, [&](nnz_t t) {
     const auto src = ln.values.row(static_cast<index_t>(t));
     auto dst = out.row(rows[t]);
@@ -45,14 +60,18 @@ void DTreeMttkrpEngine::compute(mode_t mode,
 }
 
 void DTreeMttkrpEngine::factor_updated(mode_t mode) {
-  MDCP_CHECK(mode < tree_.order());
-  invalidate_mode(tree_, mode);
+  if (!tree_) return;
+  MDCP_CHECK(mode < tree_->order());
+  invalidate_mode(*tree_, mode);
 }
 
-void DTreeMttkrpEngine::invalidate_all() { invalidate_all_nodes(tree_); }
+void DTreeMttkrpEngine::invalidate_all() {
+  if (tree_) invalidate_all_nodes(*tree_);
+}
 
 std::size_t DTreeMttkrpEngine::memory_bytes() const {
-  return tree_.symbolic_bytes() + tree_.value_bytes();
+  if (!tree_) return 0;
+  return tree_->symbolic_bytes() + tree_->value_bytes();
 }
 
 namespace {
@@ -63,23 +82,25 @@ std::vector<mode_t> natural_order(const CooTensor& t) {
 }
 }  // namespace
 
-std::unique_ptr<DTreeMttkrpEngine> make_dtree_flat(const CooTensor& tensor) {
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_flat(const CooTensor& tensor,
+                                                   KernelContext ctx) {
   return std::make_unique<DTreeMttkrpEngine>(
-      tensor, TreeSpec::flat(natural_order(tensor)), "dtree-flat");
+      tensor, TreeSpec::flat(natural_order(tensor)), "dtree-flat", ctx);
 }
 
 std::unique_ptr<DTreeMttkrpEngine> make_dtree_three_level(
-    const CooTensor& tensor) {
+    const CooTensor& tensor, KernelContext ctx) {
   const auto order = natural_order(tensor);
   return std::make_unique<DTreeMttkrpEngine>(
       tensor,
       TreeSpec::three_level(order, static_cast<mode_t>((order.size() + 1) / 2)),
-      "dtree-3lvl");
+      "dtree-3lvl", ctx);
 }
 
-std::unique_ptr<DTreeMttkrpEngine> make_dtree_bdt(const CooTensor& tensor) {
+std::unique_ptr<DTreeMttkrpEngine> make_dtree_bdt(const CooTensor& tensor,
+                                                  KernelContext ctx) {
   return std::make_unique<DTreeMttkrpEngine>(
-      tensor, TreeSpec::bdt(natural_order(tensor)), "dtree-bdt");
+      tensor, TreeSpec::bdt(natural_order(tensor)), "dtree-bdt", ctx);
 }
 
 }  // namespace mdcp

@@ -1,17 +1,21 @@
 #include "dtree/numeric.hpp"
 
-#include <vector>
+#include <array>
+#include <span>
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/types.hpp"
 
 namespace mdcp {
 
 namespace {
 
 // Computes one node's values from its (already materialized) parent.
-void ttmv_from_parent(DimensionTree& tree, int which,
-                      const std::vector<Matrix>& factors, index_t rank) {
+// Returns the multiply/add count of the pass.
+std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
+                               const std::vector<Matrix>& factors,
+                               index_t rank, Workspace& ws) {
   auto& n = tree.node(which);
   const auto& p = tree.node(n.parent);
   const bool parent_is_root = p.is_root();
@@ -19,10 +23,12 @@ void ttmv_from_parent(DimensionTree& tree, int which,
   n.values.resize(static_cast<index_t>(n.tuples), rank, 0);
 
   // Resolve the parent's coordinate arrays for the contracted modes and the
-  // factor matrices once, outside the hot loop.
+  // factor matrices once, outside the hot loop. Fixed-size arrays keep this
+  // allocation-free (δ can never exceed the tensor order).
   const std::size_t nd = n.delta.size();
-  std::vector<std::span<const index_t>> didx(nd);
-  std::vector<const Matrix*> dfac(nd);
+  MDCP_CHECK_MSG(nd <= kMaxOrder, "contraction set exceeds kMaxOrder");
+  std::array<std::span<const index_t>, kMaxOrder> didx;
+  std::array<const Matrix*, kMaxOrder> dfac;
   for (std::size_t d = 0; d < nd; ++d) {
     didx[d] = tree.node_mode_index(n.parent, n.delta[d]);
     dfac[d] = &factors[n.delta[d]];
@@ -32,7 +38,7 @@ void ttmv_from_parent(DimensionTree& tree, int which,
 
 #pragma omp parallel
   {
-    std::vector<real_t> tmp(rank);
+    const auto tmp = ws.thread_scratch<real_t>(rank);
 #pragma omp for schedule(dynamic, 64)
     for (std::int64_t t = 0; t < static_cast<std::int64_t>(n.tuples); ++t) {
       auto out = n.values.row(static_cast<index_t>(t));
@@ -55,18 +61,21 @@ void ttmv_from_parent(DimensionTree& tree, int which,
     }
   }
   n.valid = true;
+  return static_cast<std::uint64_t>(n.red_ids.size()) * rank * (nd + 1);
 }
 
 }  // namespace
 
-void compute_node_values(DimensionTree& tree, int which,
-                         const std::vector<Matrix>& factors, index_t rank) {
+std::uint64_t compute_node_values(DimensionTree& tree, int which,
+                                  const std::vector<Matrix>& factors,
+                                  index_t rank, Workspace& ws) {
   auto& n = tree.node(which);
-  if (n.is_root()) return;  // the root aliases the input tensor
-  if (n.valid && n.values.cols() == rank) return;
+  if (n.is_root()) return 0;  // the root aliases the input tensor
+  if (n.valid && n.values.cols() == rank) return 0;
 
-  compute_node_values(tree, n.parent, factors, rank);
-  ttmv_from_parent(tree, which, factors, rank);
+  const std::uint64_t above =
+      compute_node_values(tree, n.parent, factors, rank, ws);
+  return above + ttmv_from_parent(tree, which, factors, rank, ws);
 }
 
 void invalidate_mode(DimensionTree& tree, mode_t mode) {

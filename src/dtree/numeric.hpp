@@ -5,21 +5,28 @@
 // node, the contributing parent rows are multiplied by the factor rows of
 // the contracted modes (δ) and summed. Parallel over output tuples — the
 // reduction sets make every output independent, so there are no atomics and
-// results are bitwise identical for any thread count.
+// results are bitwise identical for any thread count. Per-thread temporaries
+// are drawn from the caller's Workspace; no heap allocation happens here
+// beyond the node value matrices themselves.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dtree/dimension_tree.hpp"
 #include "la/matrix.hpp"
+#include "util/workspace.hpp"
 
 namespace mdcp {
 
 /// Ensures node `which` (and, recursively, its ancestors) hold value
 /// matrices consistent with `factors`. `rank` is the factor column count.
-/// Nodes already marked valid are reused — the memoization.
-void compute_node_values(DimensionTree& tree, int which,
-                         const std::vector<Matrix>& factors, index_t rank);
+/// Nodes already marked valid are reused — the memoization. Returns the
+/// number of floating-point multiply/add operations actually performed
+/// (zero when everything was served from cache).
+std::uint64_t compute_node_values(DimensionTree& tree, int which,
+                                  const std::vector<Matrix>& factors,
+                                  index_t rank, Workspace& ws);
 
 /// Marks invalid (and frees) the value matrix of every node whose tensor was
 /// contracted with factor `mode` (i.e. mode ∉ μ(t)). Call whenever factor

@@ -32,6 +32,7 @@
 #include "mttkrp/blocked_coo.hpp"
 #include "mttkrp/coo_mttkrp.hpp"
 #include "mttkrp/engine.hpp"
+#include "mttkrp/registry.hpp"
 #include "mttkrp/ttv_chain.hpp"
 #include "tensor/compact.hpp"
 #include "tensor/coo_tensor.hpp"
@@ -44,3 +45,4 @@
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"

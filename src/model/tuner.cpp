@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "dtree/dtree_engine.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -49,21 +48,10 @@ TunerReport select_strategy(const CooTensor& tensor, index_t rank,
   return report;
 }
 
-std::unique_ptr<MttkrpEngine> make_auto_engine(const CooTensor& tensor,
-                                               index_t rank,
-                                               std::size_t memory_budget_bytes,
-                                               const CostModelParams& params) {
-  const TunerReport report =
-      select_strategy(tensor, rank, memory_budget_bytes, params);
-  const auto& win = report.winner();
-  return std::make_unique<DTreeMttkrpEngine>(tensor, win.strategy.spec,
-                                             "auto:" + win.strategy.name);
-}
-
 TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
                                    std::size_t memory_budget_bytes,
                                    const CostModelParams& params,
-                                   int shortlist) {
+                                   int shortlist, KernelContext ctx) {
   MDCP_CHECK(shortlist > 0);
   TunerReport report =
       select_strategy(tensor, rank, memory_budget_bytes, params);
@@ -75,6 +63,7 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
   for (mode_t m = 0; m < tensor.order(); ++m)
     factors.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));
 
+  ctx.stats = nullptr;  // probe sweeps are tuning overhead, not kernel work
   double best_time = -1;
   std::size_t best_idx = report.chosen;
   int probed = 0;
@@ -82,7 +71,9 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
        ++i) {
     if (!report.ranked[i].fits_budget) continue;
     ++probed;
-    DTreeMttkrpEngine engine(tensor, report.ranked[i].strategy.spec);
+    DTreeMttkrpEngine engine(report.ranked[i].strategy.spec,
+                             report.ranked[i].strategy.name, ctx);
+    engine.prepare(tensor, rank);
     Matrix out;
     // One warm sweep, then the minimum of two timed sweeps (the minimum is
     // the least-noisy estimator of intrinsic cost on a shared host).
@@ -105,14 +96,78 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
   return report;
 }
 
+AutoEngine::AutoEngine(bool probed, std::size_t memory_budget_bytes,
+                       CostModelParams params, int shortlist, KernelContext ctx)
+    : MttkrpEngine(ctx),
+      probed_(probed),
+      memory_budget_bytes_(memory_budget_bytes),
+      params_(params),
+      shortlist_(shortlist) {}
+
+void AutoEngine::do_prepare(index_t rank) {
+  MDCP_CHECK_MSG(rank > 0,
+                 "the auto engine needs a rank hint: prepare(tensor, rank)");
+  KernelContext inner_ctx = context();
+  inner_ctx.stats = nullptr;  // outer NVI already records totals
+  report_ = probed_ ? select_strategy_probed(tensor(), rank,
+                                             memory_budget_bytes_, params_,
+                                             shortlist_, inner_ctx)
+                    : select_strategy(tensor(), rank, memory_budget_bytes_,
+                                      params_);
+  const auto& win = report_.winner();
+  const std::string label =
+      (probed_ ? "auto+probe:" : "auto:") + win.strategy.name;
+  inner_ = std::make_unique<DTreeMttkrpEngine>(win.strategy.spec, label,
+                                               inner_ctx);
+  inner_->prepare(tensor(), rank);
+}
+
+void AutoEngine::do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                            Matrix& out) {
+  const std::uint64_t before = inner_->stats().flops;
+  inner_->compute(mode, factors, out);
+  count_flops(inner_->stats().flops - before);
+}
+
+void AutoEngine::factor_updated(mode_t mode) {
+  if (inner_) inner_->factor_updated(mode);
+}
+
+void AutoEngine::invalidate_all() {
+  if (inner_) inner_->invalidate_all();
+}
+
+std::string AutoEngine::name() const {
+  if (inner_) return inner_->name();
+  return probed_ ? "auto+probe" : "auto";
+}
+
+std::size_t AutoEngine::memory_bytes() const {
+  return inner_ ? inner_->memory_bytes() : 0;
+}
+
+std::size_t AutoEngine::peak_memory_bytes() const {
+  return inner_ ? inner_->peak_memory_bytes() : 0;
+}
+
+std::unique_ptr<MttkrpEngine> make_auto_engine(const CooTensor& tensor,
+                                               index_t rank,
+                                               std::size_t memory_budget_bytes,
+                                               const CostModelParams& params) {
+  auto engine = std::make_unique<AutoEngine>(/*probed=*/false,
+                                             memory_budget_bytes, params, 3);
+  engine->prepare(tensor, rank);
+  return engine;
+}
+
 std::unique_ptr<MttkrpEngine> make_probed_engine(
     const CooTensor& tensor, index_t rank, std::size_t memory_budget_bytes,
     const CostModelParams& params, int shortlist) {
-  const TunerReport report = select_strategy_probed(
-      tensor, rank, memory_budget_bytes, params, shortlist);
-  const auto& win = report.winner();
-  return std::make_unique<DTreeMttkrpEngine>(tensor, win.strategy.spec,
-                                             "auto+probe:" + win.strategy.name);
+  auto engine = std::make_unique<AutoEngine>(/*probed=*/true,
+                                             memory_budget_bytes, params,
+                                             shortlist);
+  engine->prepare(tensor, rank);
+  return engine;
 }
 
 }  // namespace mdcp

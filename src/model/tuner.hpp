@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "dtree/dtree_engine.hpp"
 #include "model/cost_model.hpp"
 #include "model/strategy.hpp"
 #include "mttkrp/engine.hpp"
@@ -36,22 +37,57 @@ TunerReport select_strategy(const CooTensor& tensor, index_t rank,
                             std::size_t memory_budget_bytes = 0,
                             const CostModelParams& params = {});
 
-/// Builds the engine the tuner selected. name() reports
-/// "auto:<strategy-name>". The tensor must outlive the engine.
-std::unique_ptr<MttkrpEngine> make_auto_engine(
-    const CooTensor& tensor, index_t rank,
-    std::size_t memory_budget_bytes = 0, const CostModelParams& params = {});
-
 /// Hybrid model+probe selection: the analytic model shortlists the
 /// `shortlist` budget-feasible candidates, one real MTTKRP sweep of each is
 /// measured, and the measured winner is chosen. Costs ~`shortlist` sweeps up
 /// front (still far below exhaustive autotuning) and removes the residual
 /// model error on tensors whose cache behaviour the flop/byte counts miss.
 /// Returns the report re-ranked with `chosen` pointing at the probed winner.
+/// Probe engines draw scratch from `ctx` (workspace/threads; stats ignored).
 TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
                                    std::size_t memory_budget_bytes = 0,
                                    const CostModelParams& params = {},
-                                   int shortlist = 3);
+                                   int shortlist = 3, KernelContext ctx = {});
+
+/// MTTKRP engine whose strategy is chosen by the tuner at prepare() time.
+/// prepare(tensor, rank) runs the model (rank > 0 required — the prediction
+/// is rank-dependent), optionally probes the shortlist, then builds and
+/// prepares the winning dimension-tree engine. name() reports
+/// "auto:<strategy>" (or "auto+probe:<strategy>") once prepared.
+class AutoEngine final : public MttkrpEngine {
+ public:
+  explicit AutoEngine(bool probed = false, std::size_t memory_budget_bytes = 0,
+                      CostModelParams params = {}, int shortlist = 3,
+                      KernelContext ctx = {});
+
+  void factor_updated(mode_t mode) override;
+  void invalidate_all() override;
+  std::string name() const override;
+  std::size_t memory_bytes() const override;
+  std::size_t peak_memory_bytes() const override;
+
+  /// The tuner's full ranking from the last prepare().
+  const TunerReport& report() const { return report_; }
+
+ protected:
+  void do_prepare(index_t rank) override;
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override;
+
+ private:
+  bool probed_;
+  std::size_t memory_budget_bytes_;
+  CostModelParams params_;
+  int shortlist_;
+  TunerReport report_;
+  std::unique_ptr<DTreeMttkrpEngine> inner_;
+};
+
+/// Builds the engine the tuner selected. name() reports
+/// "auto:<strategy-name>". The tensor must outlive the engine.
+std::unique_ptr<MttkrpEngine> make_auto_engine(
+    const CooTensor& tensor, index_t rank,
+    std::size_t memory_budget_bytes = 0, const CostModelParams& params = {});
 
 /// Engine built from the probed selection; name() reports
 /// "auto+probe:<strategy-name>".

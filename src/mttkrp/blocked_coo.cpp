@@ -8,11 +8,24 @@
 
 namespace mdcp {
 
-BlockedCooEngine::BlockedCooEngine(const CooTensor& tensor,
-                                   unsigned block_bits)
-    : bits_(block_bits), order_(tensor.order()), shape_(tensor.shape()) {
+BlockedCooEngine::BlockedCooEngine(unsigned block_bits, KernelContext ctx)
+    : MttkrpEngine(ctx), bits_(block_bits) {
   MDCP_CHECK_MSG(block_bits >= 1 && block_bits <= 8,
                  "block_bits must be in [1, 8] (8-bit local offsets)");
+}
+
+BlockedCooEngine::BlockedCooEngine(const CooTensor& tensor,
+                                   unsigned block_bits, KernelContext ctx)
+    : BlockedCooEngine(block_bits, ctx) {
+  prepare(tensor);
+}
+
+void BlockedCooEngine::do_prepare(index_t rank) {
+  const CooTensor& tensor = this->tensor();
+  order_ = tensor.order();
+  shape_ = tensor.shape();
+  block_base_.clear();
+  block_ptr_.clear();
   const nnz_t n = tensor.nnz();
 
   // Sort nonzeros by block key (the per-mode high bits, lexicographic),
@@ -54,7 +67,8 @@ BlockedCooEngine::BlockedCooEngine(const CooTensor& tensor,
     }
     for (mode_t m = 0; m < order_; ++m) {
       local_[m][p] = static_cast<std::uint8_t>(
-          tensor.index(m, i) - block_base_[(block_ptr_.size() - 1) * order_ + m]);
+          tensor.index(m, i) -
+          block_base_[(block_ptr_.size() - 1) * order_ + m]);
     }
     vals_[p] = tensor.value(i);
   }
@@ -62,7 +76,7 @@ BlockedCooEngine::BlockedCooEngine(const CooTensor& tensor,
 
   // Per-mode scatter plans: group blocks by their mode-m base.
   const nnz_t blocks = num_blocks();
-  plans_.resize(order_);
+  plans_.assign(order_, {});
   for (mode_t m = 0; m < order_; ++m) {
     ModePlan& plan = plans_[m];
     plan.perm.resize(blocks);
@@ -81,11 +95,13 @@ BlockedCooEngine::BlockedCooEngine(const CooTensor& tensor,
     }
     plan.group_start.push_back(blocks);
   }
+  if (rank > 0)
+    workspace().reserve(effective_threads(), rank * sizeof(real_t));
 }
 
-void BlockedCooEngine::compute(mode_t mode,
-                               const std::vector<Matrix>& factors,
-                               Matrix& out) {
+void BlockedCooEngine::do_compute(mode_t mode,
+                                  const std::vector<Matrix>& factors,
+                                  Matrix& out) {
   MDCP_CHECK_MSG(factors.size() == order_, "one factor per mode required");
   MDCP_CHECK(mode < order_);
   const index_t r = factors[0].cols();
@@ -96,9 +112,10 @@ void BlockedCooEngine::compute(mode_t mode,
   out.resize(shape_[mode], r, 0);
 
   const ModePlan& plan = plans_[mode];
+  Workspace& ws = workspace();
 #pragma omp parallel
   {
-    std::vector<real_t> tmp(r);
+    const auto tmp = ws.thread_scratch<real_t>(r);
 #pragma omp for schedule(dynamic, 4)
     for (std::int64_t g = 0;
          g < static_cast<std::int64_t>(plan.bases.size()); ++g) {
@@ -121,6 +138,7 @@ void BlockedCooEngine::compute(mode_t mode,
       }
     }
   }
+  count_flops(static_cast<std::uint64_t>(vals_.size()) * r * order_);
 }
 
 std::size_t BlockedCooEngine::memory_bytes() const {

@@ -13,7 +13,8 @@
 // Parallelization: for each output mode, blocks are grouped by their
 // mode-m base; a group owns the disjoint output row range
 // [base, base+2^b), so groups run in parallel with no atomics and a fixed
-// accumulation order (bitwise deterministic for any thread count).
+// accumulation order (bitwise deterministic for any thread count). The
+// numeric phase draws its length-R accumulator from the context workspace.
 #pragma once
 
 #include <vector>
@@ -25,15 +26,23 @@ namespace mdcp {
 class BlockedCooEngine final : public MttkrpEngine {
  public:
   /// `block_bits` = log2 of the block side (1..8; 8-bit local offsets).
-  explicit BlockedCooEngine(const CooTensor& tensor, unsigned block_bits = 7);
+  explicit BlockedCooEngine(unsigned block_bits = 7, KernelContext ctx = {});
+  /// Convenience: construct and prepare in one step.
+  explicit BlockedCooEngine(const CooTensor& tensor, unsigned block_bits = 7,
+                            KernelContext ctx = {});
 
-  void compute(mode_t mode, const std::vector<Matrix>& factors,
-               Matrix& out) override;
   std::string name() const override { return "bcoo"; }
   std::size_t memory_bytes() const override;
 
-  nnz_t num_blocks() const noexcept { return block_base_.empty() ? 0 : block_ptr_.size() - 1; }
+  nnz_t num_blocks() const noexcept {
+    return block_base_.empty() ? 0 : block_ptr_.size() - 1;
+  }
   unsigned block_bits() const noexcept { return bits_; }
+
+ protected:
+  void do_prepare(index_t rank) override;
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override;
 
  private:
   struct ModePlan {

@@ -8,13 +8,22 @@
 
 namespace mdcp {
 
-CooMttkrpEngine::CooMttkrpEngine(const CooTensor& tensor) : tensor_(tensor) {
-  plans_.resize(tensor.order());
-  for (mode_t m = 0; m < tensor.order(); ++m) {
+CooMttkrpEngine::CooMttkrpEngine(KernelContext ctx)
+    : MttkrpEngine(ctx) {}
+
+CooMttkrpEngine::CooMttkrpEngine(const CooTensor& tensor, KernelContext ctx)
+    : MttkrpEngine(ctx) {
+  prepare(tensor);
+}
+
+void CooMttkrpEngine::do_prepare(index_t rank) {
+  const CooTensor& t = tensor();
+  plans_.assign(t.order(), {});
+  for (mode_t m = 0; m < t.order(); ++m) {
     ModePlan& plan = plans_[m];
-    plan.perm.resize(tensor.nnz());
+    plan.perm.resize(t.nnz());
     std::iota(plan.perm.begin(), plan.perm.end(), nnz_t{0});
-    const auto idx = tensor.mode_indices(m);
+    const auto idx = t.mode_indices(m);
     std::stable_sort(plan.perm.begin(), plan.perm.end(),
                      [&](nnz_t a, nnz_t b) { return idx[a] < idx[b]; });
     for (nnz_t i = 0; i < plan.perm.size(); ++i) {
@@ -26,20 +35,25 @@ CooMttkrpEngine::CooMttkrpEngine(const CooTensor& tensor) : tensor_(tensor) {
     }
     plan.row_start.push_back(plan.perm.size());
   }
+  if (rank > 0)
+    workspace().reserve(effective_threads(), rank * sizeof(real_t));
 }
 
-void CooMttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
-                              Matrix& out) {
-  const index_t r = check_factors(tensor_, factors);
-  MDCP_CHECK(mode < tensor_.order());
-  out.resize(tensor_.dim(mode), r, 0);
+void CooMttkrpEngine::do_compute(mode_t mode,
+                                 const std::vector<Matrix>& factors,
+                                 Matrix& out) {
+  const CooTensor& t = tensor();
+  const index_t r = check_factors(t, factors);
+  MDCP_CHECK(mode < t.order());
+  out.resize(t.dim(mode), r, 0);
 
   const ModePlan& plan = plans_[mode];
-  const mode_t order = tensor_.order();
+  const mode_t order = t.order();
+  Workspace& ws = workspace();
 
 #pragma omp parallel
   {
-    std::vector<real_t> tmp(r);
+    const auto tmp = ws.thread_scratch<real_t>(r);
 #pragma omp for schedule(dynamic, 16)
     for (std::int64_t g = 0; g < static_cast<std::int64_t>(plan.rows.size());
          ++g) {
@@ -47,17 +61,18 @@ void CooMttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
       for (nnz_t p = plan.row_start[static_cast<std::size_t>(g)];
            p < plan.row_start[static_cast<std::size_t>(g) + 1]; ++p) {
         const nnz_t i = plan.perm[p];
-        const real_t v = tensor_.value(i);
+        const real_t v = t.value(i);
         for (index_t k = 0; k < r; ++k) tmp[k] = v;
         for (mode_t m = 0; m < order; ++m) {
           if (m == mode) continue;
-          const auto frow = factors[m].row(tensor_.index(m, i));
+          const auto frow = factors[m].row(t.index(m, i));
           for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
         }
         for (index_t k = 0; k < r; ++k) orow[k] += tmp[k];
       }
     }
   }
+  count_flops(static_cast<std::uint64_t>(t.nnz()) * r * order);
 }
 
 std::size_t CooMttkrpEngine::memory_bytes() const {

@@ -6,10 +6,11 @@
 // CP-ALS iteration. No factoring, no memoization; this is the simplest
 // correct parallel kernel and the floor every optimized engine must beat.
 //
-// Parallelization: at construction we precompute, per mode, a permutation of
-// the nonzeros sorted by that mode's index together with row-group offsets.
+// Parallelization: prepare() precomputes, per mode, a permutation of the
+// nonzeros sorted by that mode's index together with row-group offsets.
 // Each thread owns a contiguous range of output rows, so accumulation is
-// atomics-free and bitwise deterministic for any thread count.
+// atomics-free and bitwise deterministic for any thread count. The numeric
+// phase draws its length-R Hadamard accumulator from the context workspace.
 #pragma once
 
 #include <vector>
@@ -20,13 +21,17 @@ namespace mdcp {
 
 class CooMttkrpEngine final : public MttkrpEngine {
  public:
-  /// The tensor must outlive the engine.
-  explicit CooMttkrpEngine(const CooTensor& tensor);
+  explicit CooMttkrpEngine(KernelContext ctx = {});
+  /// Convenience: construct and prepare in one step.
+  explicit CooMttkrpEngine(const CooTensor& tensor, KernelContext ctx = {});
 
-  void compute(mode_t mode, const std::vector<Matrix>& factors,
-               Matrix& out) override;
   std::string name() const override { return "coo"; }
   std::size_t memory_bytes() const override;
+
+ protected:
+  void do_prepare(index_t rank) override;
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override;
 
  private:
   struct ModePlan {
@@ -35,7 +40,6 @@ class CooMttkrpEngine final : public MttkrpEngine {
     std::vector<nnz_t> row_start;  ///< CSR offsets into perm, size rows+1
   };
 
-  const CooTensor& tensor_;
   std::vector<ModePlan> plans_;  // one per mode
 };
 

@@ -1,8 +1,69 @@
 #include "mttkrp/engine.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace mdcp {
+
+MttkrpEngine::MttkrpEngine(KernelContext ctx) : ctx_(ctx) {
+  if (ctx_.workspace == nullptr) ctx_.workspace = &default_workspace();
+}
+
+void MttkrpEngine::prepare(const CooTensor& tensor, index_t rank) {
+  tensor_ = &tensor;
+  rank_hint_ = rank;
+  WallTimer timer;
+  {
+    ThreadScope scope(ctx_.threads);
+    do_prepare(rank);
+  }
+  const double secs = timer.seconds();
+  stats_.symbolic_seconds += secs;
+  ++stats_.prepare_calls;
+  if (ctx_.stats != nullptr) {
+    ctx_.stats->symbolic_seconds += secs;
+    ++ctx_.stats->prepare_calls;
+  }
+}
+
+void MttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
+                           Matrix& out) {
+  MDCP_CHECK_MSG(prepared(), "engine " << name()
+                                       << ": compute() before prepare()");
+  WallTimer timer;
+  {
+    ThreadScope scope(ctx_.threads);
+    do_compute(mode, factors, out);
+  }
+  const double secs = timer.seconds();
+  stats_.numeric_seconds += secs;
+  ++stats_.compute_calls;
+  stats_.peak_scratch_bytes =
+      std::max(stats_.peak_scratch_bytes, ctx_.workspace->peak_bytes());
+  if (ctx_.stats != nullptr) {
+    ctx_.stats->numeric_seconds += secs;
+    ++ctx_.stats->compute_calls;
+    ctx_.stats->peak_scratch_bytes = std::max(ctx_.stats->peak_scratch_bytes,
+                                              ctx_.workspace->peak_bytes());
+  }
+}
+
+const CooTensor& MttkrpEngine::tensor() const {
+  MDCP_CHECK_MSG(tensor_ != nullptr, "engine not prepared");
+  return *tensor_;
+}
+
+void MttkrpEngine::count_flops(std::uint64_t flops) noexcept {
+  stats_.flops += flops;
+  if (ctx_.stats != nullptr) ctx_.stats->flops += flops;
+}
+
+int MttkrpEngine::effective_threads() const noexcept {
+  return ctx_.threads > 0 ? ctx_.threads : num_threads();
+}
 
 index_t check_factors(const CooTensor& tensor,
                       const std::vector<Matrix>& factors) {

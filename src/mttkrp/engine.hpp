@@ -5,6 +5,22 @@
 // kernel, and the memoized dimension-tree engines are interchangeable — and
 // so the model-driven tuner can swap in whichever strategy it predicts to be
 // fastest.
+//
+// Lifecycle: every engine is constructed from a KernelContext (workspace +
+// thread budget + optional stats sink), then runs an explicit two-phase
+// protocol:
+//
+//   engine.prepare(tensor, rank);          // symbolic phase: build index
+//                                          //   structures, reserve scratch
+//   engine.compute(mode, factors, out);    // numeric phase: allocation-free,
+//                                          //   scratch from the workspace
+//
+// The base class wraps both phases (non-virtual interface): it times the
+// symbolic and numeric work, applies the context's thread override, and
+// tracks the workspace scratch high-water mark, so every engine reports
+// uniform KernelStats without touching a timer itself. Subclasses implement
+// do_prepare()/do_compute(). The convenience constructors that take a tensor
+// call prepare() immediately; either way the tensor must outlive the engine.
 #pragma once
 
 #include <cstddef>
@@ -14,19 +30,31 @@
 
 #include "la/matrix.hpp"
 #include "tensor/coo_tensor.hpp"
+#include "util/workspace.hpp"
 
 namespace mdcp {
 
 class MttkrpEngine {
  public:
+  explicit MttkrpEngine(KernelContext ctx = {});
   virtual ~MttkrpEngine() = default;
 
-  /// Computes out = MTTKRP(X, {factors}, mode): the matricized tensor in
-  /// `mode` times the Khatri–Rao product of all other factors. `out` is
-  /// resized to (dim(mode) × R). `factors` must contain one I_m×R matrix per
-  /// mode, all with the same column count R.
-  virtual void compute(mode_t mode, const std::vector<Matrix>& factors,
-                       Matrix& out) = 0;
+  /// Symbolic phase: binds the engine to `tensor` (which must outlive it)
+  /// and builds all index structures. `rank` is a hint used to pre-reserve
+  /// per-thread scratch and by rank-dependent engines (the tuner); 0 =
+  /// unknown, scratch is then sized at the first compute(). May be called
+  /// again to re-target the engine at a different tensor.
+  void prepare(const CooTensor& tensor, index_t rank = 0);
+
+  /// Numeric phase: out = MTTKRP(X, {factors}, mode) — the matricized
+  /// tensor in `mode` times the Khatri–Rao product of all other factors.
+  /// `out` is resized to (dim(mode) × R). `factors` must contain one I_m×R
+  /// matrix per mode, all with the same column count R. Requires prepare();
+  /// draws all scratch from the context workspace (no heap allocation on
+  /// the steady-state path).
+  void compute(mode_t mode, const std::vector<Matrix>& factors, Matrix& out);
+
+  bool prepared() const noexcept { return tensor_ != nullptr; }
 
   /// Notifies the engine that factor matrix `mode` has changed since the
   /// last compute() call. Engines that memoize partial products use this to
@@ -40,11 +68,48 @@ class MttkrpEngine {
   virtual std::string name() const = 0;
 
   /// Bytes of auxiliary structures currently held (index arrays, memoized
-  /// value matrices, CSF fibers, ...), excluding the input tensor itself.
+  /// value matrices, CSF fibers, ...), excluding the input tensor itself
+  /// and the shared workspace.
   virtual std::size_t memory_bytes() const { return 0; }
 
   /// Peak bytes of auxiliary structures observed so far.
   virtual std::size_t peak_memory_bytes() const { return memory_bytes(); }
+
+  /// Per-engine counters recorded by prepare()/compute().
+  const KernelStats& stats() const noexcept { return stats_; }
+
+  KernelContext& context() noexcept { return ctx_; }
+  const KernelContext& context() const noexcept { return ctx_; }
+  Workspace& workspace() const noexcept { return *ctx_.workspace; }
+
+ protected:
+  /// Builds the engine's symbolic structures for tensor() at rank hint
+  /// `rank`. Called with the thread override already applied.
+  virtual void do_prepare(index_t rank) = 0;
+
+  /// The numeric kernel. Scratch must come from workspace().
+  virtual void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                          Matrix& out) = 0;
+
+  /// The tensor bound by prepare(). Throws if not prepared.
+  const CooTensor& tensor() const;
+
+  /// Rank hint passed to prepare() (0 = unknown).
+  index_t rank_hint() const noexcept { return rank_hint_; }
+
+  /// Records approximate numeric flops into the stats sinks.
+  void count_flops(std::uint64_t flops) noexcept;
+
+  /// Threads the next kernel launch will use (the context override, or the
+  /// library-wide setting).
+  int effective_threads() const noexcept;
+
+  KernelContext ctx_;
+
+ private:
+  const CooTensor* tensor_ = nullptr;
+  index_t rank_hint_ = 0;
+  KernelStats stats_;
 };
 
 /// Checks that the factor list is consistent with the tensor: one matrix per

@@ -1,0 +1,200 @@
+#include "mttkrp/registry.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "csf/csf_mttkrp.hpp"
+#include "csf/csf_one_mttkrp.hpp"
+#include "dtree/dtree_engine.hpp"
+#include "model/tuner.hpp"
+#include "mttkrp/blocked_coo.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "mttkrp/ttv_chain.hpp"
+#include "util/error.hpp"
+
+namespace mdcp {
+
+namespace {
+
+std::vector<mode_t> natural_order(mode_t order) {
+  std::vector<mode_t> o(order);
+  for (mode_t m = 0; m < order; ++m) o[m] = m;
+  return o;
+}
+
+// The dtree shapes need the tensor's order to build their TreeSpec, which is
+// only known at prepare() time. This thin adaptor defers spec construction.
+template <typename SpecFn>
+class DeferredDTreeEngine final : public MttkrpEngine {
+ public:
+  DeferredDTreeEngine(SpecFn spec_fn, std::string display_name,
+                      KernelContext ctx)
+      : MttkrpEngine(ctx),
+        spec_fn_(std::move(spec_fn)),
+        name_(std::move(display_name)) {}
+
+  void factor_updated(mode_t mode) override {
+    if (inner_) inner_->factor_updated(mode);
+  }
+  void invalidate_all() override {
+    if (inner_) inner_->invalidate_all();
+  }
+  std::string name() const override { return name_; }
+  std::size_t memory_bytes() const override {
+    return inner_ ? inner_->memory_bytes() : 0;
+  }
+  std::size_t peak_memory_bytes() const override {
+    return inner_ ? inner_->peak_memory_bytes() : 0;
+  }
+
+ protected:
+  void do_prepare(index_t rank) override {
+    KernelContext inner_ctx = context();
+    inner_ctx.stats = nullptr;  // outer NVI already records totals
+    inner_ = std::make_unique<DTreeMttkrpEngine>(spec_fn_(tensor()), name_,
+                                                 inner_ctx);
+    inner_->prepare(tensor(), rank);
+  }
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override {
+    const std::uint64_t before = inner_->stats().flops;
+    inner_->compute(mode, factors, out);
+    count_flops(inner_->stats().flops - before);
+  }
+
+ private:
+  SpecFn spec_fn_;
+  std::string name_;
+  std::unique_ptr<DTreeMttkrpEngine> inner_;
+};
+
+template <typename SpecFn>
+std::unique_ptr<MttkrpEngine> deferred_dtree(SpecFn fn, std::string name,
+                                             KernelContext ctx) {
+  return std::make_unique<DeferredDTreeEngine<SpecFn>>(std::move(fn),
+                                                       std::move(name), ctx);
+}
+
+}  // namespace
+
+EngineRegistry::EngineRegistry() {
+  register_engine("coo", "element-wise COO with per-mode scatter plans",
+                  [](KernelContext ctx) {
+                    return std::make_unique<CooMttkrpEngine>(ctx);
+                  });
+  register_engine("bcoo", "HiCOO-style blocked COO (128^N blocks)",
+                  [](KernelContext ctx) {
+                    return std::make_unique<BlockedCooEngine>(7u, ctx);
+                  });
+  register_engine("ttv-chain", "column-at-a-time TTV chain (naive baseline)",
+                  [](KernelContext ctx) {
+                    return std::make_unique<TtvChainEngine>(ctx);
+                  });
+  register_engine("csf", "SPLATT root-mode kernel, one CSF per mode",
+                  [](KernelContext ctx) {
+                    return std::make_unique<CsfMttkrpEngine>(ctx);
+                  });
+  register_engine("csf1", "SPLATT all-modes kernel from a single CSF",
+                  [](KernelContext ctx) {
+                    return std::make_unique<CsfOneMttkrpEngine>(
+                        std::vector<mode_t>{}, ctx);
+                  });
+  register_engine("dtree-flat", "dimension tree, flat (one level)",
+                  [](KernelContext ctx) {
+                    return deferred_dtree(
+                        [](const CooTensor& t) {
+                          return TreeSpec::flat(natural_order(t.order()));
+                        },
+                        "dtree-flat", ctx);
+                  });
+  register_engine("dtree-3lvl", "dimension tree, three-level split",
+                  [](KernelContext ctx) {
+                    return deferred_dtree(
+                        [](const CooTensor& t) {
+                          const auto order = natural_order(t.order());
+                          return TreeSpec::three_level(
+                              order,
+                              static_cast<mode_t>((order.size() + 1) / 2));
+                        },
+                        "dtree-3lvl", ctx);
+                  });
+  register_engine("dtree-bdt", "dimension tree, balanced binary (BDT)",
+                  [](KernelContext ctx) {
+                    return deferred_dtree(
+                        [](const CooTensor& t) {
+                          return TreeSpec::bdt(natural_order(t.order()));
+                        },
+                        "dtree-bdt", ctx);
+                  });
+  register_engine("auto", "model-driven strategy selection (the tuner)",
+                  [](KernelContext ctx) {
+                    return std::make_unique<AutoEngine>(/*probed=*/false, 0,
+                                                        CostModelParams{}, 3,
+                                                        ctx);
+                  });
+  register_engine("auto+probe", "model shortlist + measured probe selection",
+                  [](KernelContext ctx) {
+                    return std::make_unique<AutoEngine>(/*probed=*/true, 0,
+                                                        CostModelParams{}, 3,
+                                                        ctx);
+                  });
+}
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+void EngineRegistry::register_engine(std::string name, std::string description,
+                                     EngineFactory factory) {
+  MDCP_CHECK_MSG(find(name) == nullptr,
+                 "engine '" << name << "' already registered");
+  MDCP_CHECK(factory != nullptr);
+  entries_.push_back(
+      {std::move(name), std::move(description), std::move(factory)});
+}
+
+const EngineRegistry::Entry* EngineRegistry::find(
+    const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::unique_ptr<MttkrpEngine> EngineRegistry::create(const std::string& name,
+                                                     KernelContext ctx) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    std::ostringstream os;
+    os << "unknown engine '" << name << "'; known engines:";
+    for (const auto& entry : entries_) os << ' ' << entry.name;
+    throw error(os.str());
+  }
+  return e->factory(ctx);
+}
+
+std::unique_ptr<MttkrpEngine> make_engine(const std::string& name,
+                                          KernelContext ctx) {
+  return EngineRegistry::instance().create(name, ctx);
+}
+
+std::unique_ptr<MttkrpEngine> make_engine(const std::string& name,
+                                          const CooTensor& tensor,
+                                          index_t rank, KernelContext ctx) {
+  auto engine = EngineRegistry::instance().create(name, ctx);
+  engine->prepare(tensor, rank);
+  return engine;
+}
+
+}  // namespace mdcp

@@ -5,90 +5,112 @@
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/workspace.hpp"
 
 namespace mdcp {
 
-namespace {
+TtvChainEngine::TtvChainEngine(KernelContext ctx) : MttkrpEngine(ctx) {}
 
-// Working representation of a partially-contracted sparse tensor with scalar
-// values: the live (uncontracted) modes and one index array per live mode.
-struct WorkTensor {
-  std::vector<mode_t> live_modes;
-  std::vector<std::vector<index_t>> idx;  // aligned with live_modes
-  std::vector<real_t> vals;
+TtvChainEngine::TtvChainEngine(const CooTensor& tensor, KernelContext ctx)
+    : MttkrpEngine(ctx) {
+  prepare(tensor);
+}
 
-  nnz_t size() const { return vals.size(); }
-
-  // Contracts the live mode at position `pos` against vector entries
-  // u[index], then collapses duplicate remaining tuples by summing.
-  void ttv(std::size_t pos, const Matrix& factor, index_t column) {
-    for (nnz_t i = 0; i < size(); ++i)
-      vals[i] *= factor(idx[pos][i], column);
-    idx.erase(idx.begin() + static_cast<std::ptrdiff_t>(pos));
-    live_modes.erase(live_modes.begin() + static_cast<std::ptrdiff_t>(pos));
-    collapse();
+void TtvChainEngine::ColumnWork::load(const CooTensor& tensor) {
+  const mode_t order = tensor.order();
+  live_modes.resize(order);
+  std::iota(live_modes.begin(), live_modes.end(), mode_t{0});
+  idx.resize(order);
+  idx2.resize(order);
+  for (mode_t m = 0; m < order; ++m) {
+    const auto src = tensor.mode_indices(m);
+    idx[m].assign(src.begin(), src.end());
   }
+  vals.assign(tensor.values().begin(), tensor.values().end());
+}
 
-  void collapse() {
-    if (size() <= 1 || idx.empty()) {
-      if (idx.empty() && size() > 1) {
-        // Fully contracted: single scalar.
-        real_t s = 0;
-        for (real_t v : vals) s += v;
-        vals.assign(1, s);
-      }
-      return;
+// Contracts the live mode at position `pos` against factor(:, column), then
+// collapses duplicate remaining tuples by summing. The contracted index
+// array is rotated to the dead tail of `idx` (capacity retained) instead of
+// erased.
+void TtvChainEngine::ColumnWork::ttv(std::size_t pos, const Matrix& factor,
+                                     index_t column) {
+  for (nnz_t i = 0; i < size(); ++i) vals[i] *= factor(idx[pos][i], column);
+  std::rotate(idx.begin() + static_cast<std::ptrdiff_t>(pos),
+              idx.begin() + static_cast<std::ptrdiff_t>(pos) + 1, idx.end());
+  live_modes.erase(live_modes.begin() + static_cast<std::ptrdiff_t>(pos));
+  collapse();
+}
+
+void TtvChainEngine::ColumnWork::collapse() {
+  const std::size_t live = live_modes.size();
+  if (size() <= 1 || live == 0) {
+    if (live == 0 && size() > 1) {
+      // Fully contracted: single scalar.
+      real_t s = 0;
+      for (real_t v : vals) s += v;
+      vals.assign(1, s);
     }
-    std::vector<nnz_t> perm(size());
-    std::iota(perm.begin(), perm.end(), nnz_t{0});
-    std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
-      for (const auto& arr : idx) {
-        if (arr[a] != arr[b]) return arr[a] < arr[b];
-      }
-      return false;
-    });
-    const auto same = [&](nnz_t a, nnz_t b) {
-      for (const auto& arr : idx)
-        if (arr[a] != arr[b]) return false;
-      return true;
-    };
-    std::vector<std::vector<index_t>> nidx(idx.size());
-    std::vector<real_t> nvals;
-    for (nnz_t p = 0; p < size(); ++p) {
-      const nnz_t i = perm[p];
-      if (p > 0 && same(i, perm[p - 1])) {
-        nvals.back() += vals[i];
-      } else {
-        for (std::size_t m = 0; m < idx.size(); ++m)
-          nidx[m].push_back(idx[m][i]);
-        nvals.push_back(vals[i]);
-      }
-    }
-    idx = std::move(nidx);
-    vals = std::move(nvals);
+    return;
   }
-};
+  perm.resize(size());
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (std::size_t m = 0; m < live; ++m) {
+      if (idx[m][a] != idx[m][b]) return idx[m][a] < idx[m][b];
+    }
+    return false;
+  });
+  const auto same = [&](nnz_t a, nnz_t b) {
+    for (std::size_t m = 0; m < live; ++m)
+      if (idx[m][a] != idx[m][b]) return false;
+    return true;
+  };
+  for (std::size_t m = 0; m < live; ++m) idx2[m].clear();
+  vals2.clear();
+  for (nnz_t p = 0; p < size(); ++p) {
+    const nnz_t i = perm[p];
+    if (p > 0 && same(i, perm[p - 1])) {
+      vals2.back() += vals[i];
+    } else {
+      for (std::size_t m = 0; m < live; ++m) idx2[m].push_back(idx[m][i]);
+      vals2.push_back(vals[i]);
+    }
+  }
+  for (std::size_t m = 0; m < live; ++m) idx[m].swap(idx2[m]);
+  vals.swap(vals2);
+}
 
-}  // namespace
+std::size_t TtvChainEngine::ColumnWork::capacity_bytes() const {
+  std::size_t b = live_modes.capacity() * sizeof(mode_t) +
+                  (vals.capacity() + vals2.capacity()) * sizeof(real_t) +
+                  perm.capacity() * sizeof(nnz_t);
+  for (const auto& a : idx) b += a.capacity() * sizeof(index_t);
+  for (const auto& a : idx2) b += a.capacity() * sizeof(index_t);
+  return b;
+}
 
-void TtvChainEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
-                             Matrix& out) {
-  const index_t r = check_factors(tensor_, factors);
-  MDCP_CHECK(mode < tensor_.order());
-  out.resize(tensor_.dim(mode), r, 0);
-  const mode_t order = tensor_.order();
+void TtvChainEngine::do_prepare(index_t rank) {
+  (void)rank;
+  // One reusable working tensor per thread id; buffers grow on first use
+  // and persist across columns, modes, and compute() calls.
+  work_.clear();
+  work_.resize(Workspace::kMaxThreads);
+}
+
+void TtvChainEngine::do_compute(mode_t mode,
+                                const std::vector<Matrix>& factors,
+                                Matrix& out) {
+  const CooTensor& t = tensor();
+  const index_t r = check_factors(t, factors);
+  MDCP_CHECK(mode < t.order());
+  out.resize(t.dim(mode), r, 0);
+  const mode_t order = t.order();
 
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::int64_t col = 0; col < static_cast<std::int64_t>(r); ++col) {
-    WorkTensor w;
-    w.live_modes.resize(order);
-    std::iota(w.live_modes.begin(), w.live_modes.end(), mode_t{0});
-    w.idx.resize(order);
-    for (mode_t m = 0; m < order; ++m) {
-      const auto src = tensor_.mode_indices(m);
-      w.idx[m].assign(src.begin(), src.end());
-    }
-    w.vals.assign(tensor_.values().begin(), tensor_.values().end());
+    ColumnWork& w = work_[static_cast<std::size_t>(thread_id())];
+    w.load(t);
 
     // Contract every mode except the output mode, one TTV at a time.
     for (mode_t m = 0; m < order; ++m) {
@@ -103,6 +125,13 @@ void TtvChainEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
     for (nnz_t i = 0; i < w.size(); ++i)
       out(w.idx[0][i], static_cast<index_t>(col)) += w.vals[i];
   }
+  count_flops(static_cast<std::uint64_t>(t.nnz()) * r * order);
+}
+
+std::size_t TtvChainEngine::memory_bytes() const {
+  std::size_t b = 0;
+  for (const auto& w : work_) b += w.capacity_bytes();
+  return b;
 }
 
 }  // namespace mdcp

@@ -9,8 +9,12 @@
 //
 // Included as the classical baseline: the dimension-tree engines are the
 // "memoize across modes + vectorize across columns" upgrade of exactly this
-// computation.
+// computation. The working tensors are per-thread members whose buffers
+// persist across columns and compute() calls, so the steady-state numeric
+// path reuses capacity instead of reallocating per column.
 #pragma once
+
+#include <vector>
 
 #include "mttkrp/engine.hpp"
 
@@ -18,15 +22,41 @@ namespace mdcp {
 
 class TtvChainEngine final : public MttkrpEngine {
  public:
-  /// The tensor must outlive the engine.
-  explicit TtvChainEngine(const CooTensor& tensor) : tensor_(tensor) {}
+  explicit TtvChainEngine(KernelContext ctx = {});
+  /// Convenience: construct and prepare in one step.
+  explicit TtvChainEngine(const CooTensor& tensor, KernelContext ctx = {});
 
-  void compute(mode_t mode, const std::vector<Matrix>& factors,
-               Matrix& out) override;
   std::string name() const override { return "ttv-chain"; }
+  std::size_t memory_bytes() const override;
+
+ protected:
+  void do_prepare(index_t rank) override;
+  void do_compute(mode_t mode, const std::vector<Matrix>& factors,
+                  Matrix& out) override;
 
  private:
-  const CooTensor& tensor_;
+  // Working representation of a partially-contracted sparse tensor with
+  // scalar values: the live (uncontracted) modes and one index array per
+  // live mode. All buffers (including the collapse scratch) retain capacity
+  // across chains, so reloading from the input tensor is allocation-free
+  // once warm.
+  struct ColumnWork {
+    std::vector<mode_t> live_modes;
+    std::vector<std::vector<index_t>> idx;  // aligned with live_modes
+    std::vector<real_t> vals;
+    // collapse() scratch (double buffers + sort permutation).
+    std::vector<nnz_t> perm;
+    std::vector<std::vector<index_t>> idx2;
+    std::vector<real_t> vals2;
+
+    nnz_t size() const { return vals.size(); }
+    void load(const CooTensor& tensor);
+    void ttv(std::size_t pos, const Matrix& factor, index_t column);
+    void collapse();
+    std::size_t capacity_bytes() const;
+  };
+
+  std::vector<ColumnWork> work_;  // one per thread, reused across calls
 };
 
 }  // namespace mdcp

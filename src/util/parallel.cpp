@@ -19,6 +19,24 @@ void set_num_threads(int n) noexcept {
 
 int thread_id() noexcept { return omp_get_thread_num(); }
 
+int team_size() noexcept { return omp_get_num_threads(); }
+
+ThreadScope::ThreadScope(int n) noexcept {
+  if (n > 0) {
+    saved_omp_ = omp_get_max_threads();
+    saved_override_ = g_thread_override;
+    g_thread_override = n;
+    omp_set_num_threads(n);
+  }
+}
+
+ThreadScope::~ThreadScope() {
+  if (saved_omp_ > 0) {
+    g_thread_override = saved_override_;
+    omp_set_num_threads(saved_omp_);
+  }
+}
+
 Range chunk_range(nnz_t n, int parts, int p) noexcept {
   if (parts <= 0) return {0, n};
   const nnz_t base = n / static_cast<nnz_t>(parts);

@@ -21,11 +21,33 @@ void set_num_threads(int n) noexcept;
 /// Index of the calling thread inside an mdcp parallel region (0 outside).
 int thread_id() noexcept;
 
+/// Size of the current parallel team (1 outside a parallel region).
+int team_size() noexcept;
+
+/// RAII thread-count override: constructs with `n > 0` to switch the OpenMP
+/// thread count for the enclosed scope and restore the previous setting on
+/// destruction; `n <= 0` is a no-op. Used by KernelContext::threads so one
+/// engine can run with its own thread budget without disturbing the global
+/// setting.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n) noexcept;
+  ~ThreadScope();
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_omp_ = 0;       // 0 = nothing to restore
+  int saved_override_ = 0;  // previous library-wide override
+};
+
 /// Splits [0, n) into `parts` contiguous chunks and returns chunk `p` as
 /// [begin, end). Chunks differ in size by at most one element.
 struct Range {
   nnz_t begin;
   nnz_t end;
+
+  nnz_t size() const noexcept { return end - begin; }
 };
 Range chunk_range(nnz_t n, int parts, int p) noexcept;
 
@@ -38,15 +60,30 @@ void parallel_for(nnz_t n, Fn&& fn) {
   }
 }
 
-/// Runs fn(i) with dynamic scheduling (irregular per-iteration work, e.g.
-/// reduction sets of wildly varying size).
+/// Runs fn(i) with dynamic scheduling in contiguous chunks of `grain`
+/// iterations (irregular per-iteration work, e.g. reduction sets of wildly
+/// varying size).
 template <typename Fn>
 void parallel_for_dynamic(nnz_t n, Fn&& fn, nnz_t grain = 64) {
-#pragma omp parallel for schedule(dynamic, 64)
+  const auto chunk = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
+#pragma omp parallel for schedule(dynamic, chunk)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
     fn(static_cast<nnz_t>(i));
   }
-  (void)grain;
+}
+
+/// Runs fn(tid, range) once per team member with a contiguous static
+/// partition of [0, n): thread `tid` owns `range` exclusively. This is the
+/// shape kernels use to pair a per-thread Workspace slab with a fixed slice
+/// of the iteration space instead of allocating scratch inside the loop.
+template <typename Fn>
+void parallel_for_chunked(nnz_t n, Fn&& fn) {
+#pragma omp parallel
+  {
+    const int parts = team_size();
+    const int tid = thread_id();
+    fn(tid, chunk_range(n, parts, tid));
+  }
 }
 
 }  // namespace mdcp

@@ -1,0 +1,68 @@
+#include "util/workspace.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mdcp {
+
+Workspace::~Workspace() { release(); }
+
+std::span<std::byte> Workspace::thread_scratch_bytes(std::size_t bytes) {
+  if (bytes == 0) return {};
+  const int tid = thread_id();
+  MDCP_CHECK_MSG(tid >= 0 && tid < kMaxThreads,
+                 "thread id " << tid << " exceeds workspace capacity");
+  Slab& slab = slabs_[tid];
+  if (slab.capacity < bytes) grow(slab, bytes);
+  return {slab.data, bytes};
+}
+
+void Workspace::grow(Slab& slab, std::size_t bytes) {
+  // Geometric growth, rounded up to the alignment, so a sequence of
+  // increasing requests costs O(log max) allocations total.
+  std::size_t cap = std::max(bytes, slab.capacity * 2);
+  cap = (cap + kAlignment - 1) / kAlignment * kAlignment;
+  auto* fresh = static_cast<std::byte*>(
+      ::operator new(cap, std::align_val_t{kAlignment}));
+  if (slab.data != nullptr)
+    ::operator delete(slab.data, std::align_val_t{kAlignment});
+  const std::size_t delta = cap - slab.capacity;
+  slab.data = fresh;
+  slab.capacity = cap;
+  const std::size_t total =
+      total_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::size_t prev = peak_bytes_.load(std::memory_order_relaxed);
+  while (prev < total && !peak_bytes_.compare_exchange_weak(
+                             prev, total, std::memory_order_relaxed)) {
+  }
+}
+
+void Workspace::reserve(int threads, std::size_t bytes_per_thread) {
+  if (bytes_per_thread == 0) return;
+  MDCP_CHECK_MSG(threads >= 0 && threads <= kMaxThreads,
+                 "cannot reserve " << threads << " workspace slabs");
+  for (int t = 0; t < threads; ++t) {
+    if (slabs_[t].capacity < bytes_per_thread)
+      grow(slabs_[t], bytes_per_thread);
+  }
+}
+
+void Workspace::release() noexcept {
+  for (Slab& slab : slabs_) {
+    if (slab.data != nullptr)
+      ::operator delete(slab.data, std::align_val_t{kAlignment});
+    slab.data = nullptr;
+    slab.capacity = 0;
+  }
+  total_bytes_.store(0, std::memory_order_relaxed);
+}
+
+Workspace& default_workspace() {
+  static Workspace ws;
+  return ws;
+}
+
+}  // namespace mdcp

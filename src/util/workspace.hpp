@@ -1,0 +1,129 @@
+// Kernel execution runtime: per-thread scratch arenas and shared counters.
+//
+// Every MTTKRP engine draws its per-thread numeric scratch from a Workspace
+// instead of allocating inside hot loops. A Workspace owns one slab per
+// thread id; `thread_scratch(n)` returns the calling thread's slab (grown
+// geometrically, 64-byte aligned, reused across calls), so after the first
+// compute() of a given size the numeric path performs no heap allocation.
+//
+// KernelContext bundles the workspace with a thread-count override and an
+// optional shared KernelStats sink; it is the single injection point the
+// engine registry, the tuner, and the benchmarks use to control where
+// kernels get their scratch and where their counters go.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace mdcp {
+
+class Workspace {
+ public:
+  /// Slab alignment (one x86 cache line / AVX-512 vector).
+  static constexpr std::size_t kAlignment = 64;
+  /// Upper bound on concurrently served thread ids.
+  static constexpr int kMaxThreads = 256;
+
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns the calling thread's scratch slab, at least `bytes` large.
+  /// Grows the slab if needed (geometric, so amortized allocation-free);
+  /// contents are uninitialized. Safe to call concurrently from different
+  /// threads — each thread id owns a distinct slab.
+  std::span<std::byte> thread_scratch_bytes(std::size_t bytes);
+
+  /// Typed view of the calling thread's slab: `count` elements of T.
+  template <typename T>
+  std::span<T> thread_scratch(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_default_constructible_v<T>,
+                  "workspace scratch holds raw POD data only");
+    static_assert(alignof(T) <= kAlignment, "over-aligned scratch type");
+    auto raw = thread_scratch_bytes(count * sizeof(T));
+    return {reinterpret_cast<T*>(raw.data()), count};
+  }
+
+  /// Pre-grows the slabs of thread ids [0, threads) to `bytes_per_thread`
+  /// so the first compute() call is already allocation-free. Must be called
+  /// outside parallel regions (it touches other threads' slabs).
+  void reserve(int threads, std::size_t bytes_per_thread);
+
+  /// Bytes currently allocated across all slabs.
+  std::size_t allocated_bytes() const noexcept {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest allocated_bytes() observed since construction / reset_peak().
+  std::size_t peak_bytes() const noexcept {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets the high-water mark to the current allocation (used to attribute
+  /// scratch peaks to one engine when a workspace is shared).
+  void reset_peak() noexcept {
+    peak_bytes_.store(allocated_bytes(), std::memory_order_relaxed);
+  }
+
+  /// Frees every slab. Outstanding spans are invalidated; must be called
+  /// outside parallel regions.
+  void release() noexcept;
+
+ private:
+  struct Slab {
+    std::byte* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  void grow(Slab& slab, std::size_t bytes);
+
+  Slab slabs_[kMaxThreads];
+  std::atomic<std::size_t> total_bytes_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+};
+
+/// Process-wide default arena used when a KernelContext names no workspace.
+Workspace& default_workspace();
+
+/// Uniform per-engine counters recorded by the MttkrpEngine base class:
+/// wall-clock split into the symbolic (prepare) and numeric (compute)
+/// phases, call counts, approximate numeric flops, and the scratch
+/// high-water mark of the engine's workspace.
+struct KernelStats {
+  double symbolic_seconds = 0;
+  double numeric_seconds = 0;
+  std::uint64_t prepare_calls = 0;
+  std::uint64_t compute_calls = 0;
+  std::uint64_t flops = 0;  ///< approximate; engines report mul+add counts
+  std::size_t peak_scratch_bytes = 0;
+
+  /// Field-wise delta against an earlier snapshot of the same stats object
+  /// (peaks are carried over, not subtracted). Used to attribute one CP-ALS
+  /// run's share of a long-lived engine's counters.
+  KernelStats since(const KernelStats& baseline) const noexcept {
+    KernelStats d;
+    d.symbolic_seconds = symbolic_seconds - baseline.symbolic_seconds;
+    d.numeric_seconds = numeric_seconds - baseline.numeric_seconds;
+    d.prepare_calls = prepare_calls - baseline.prepare_calls;
+    d.compute_calls = compute_calls - baseline.compute_calls;
+    d.flops = flops - baseline.flops;
+    d.peak_scratch_bytes = peak_scratch_bytes;
+    return d;
+  }
+};
+
+/// Execution context injected into every engine: where scratch comes from,
+/// how many threads kernels may use, and (optionally) where counters are
+/// mirrored. Copyable by design — engines hold it by value.
+struct KernelContext {
+  Workspace* workspace = nullptr;  ///< null = default_workspace()
+  int threads = 0;                 ///< 0 = the library-wide thread setting
+  KernelStats* stats = nullptr;    ///< optional shared sink (e.g. per bench)
+};
+
+}  // namespace mdcp

@@ -173,7 +173,7 @@ TEST(DTreeEngine, MatchesReferenceAllShapes) {
   const auto t = generate_zipf(shape_t{15, 25, 35, 45, 55}, 2500, 1.0, 21);
   const auto factors = random_factors(t, 7, 77);
   for (auto make : {&make_dtree_flat, &make_dtree_three_level, &make_dtree_bdt}) {
-    auto engine = make(t);
+    auto engine = make(t, {});
     for (mode_t m = 0; m < t.order(); ++m) {
       Matrix got, want;
       engine->compute(m, factors, got);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "util/error.hpp"
@@ -9,6 +10,7 @@
 #include "util/rng.hpp"
 #include "util/span_util.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 namespace mdcp {
 namespace {
@@ -153,6 +155,146 @@ TEST(Parallel, SetNumThreadsReflected) {
   EXPECT_EQ(num_threads(), 2);
   set_num_threads(1);
   EXPECT_EQ(num_threads(), 1);
+}
+
+TEST(Parallel, DynamicGrainHonored) {
+  // Regression: parallel_for_dynamic used to hardcode schedule(dynamic, 64)
+  // and silently ignore its `grain` argument. OpenMP dynamic scheduling
+  // hands out contiguous chunks of exactly `grain` iterations (aligned to
+  // multiples of grain, last chunk short), so every aligned block must be
+  // executed by a single thread.
+  set_num_threads(4);
+  constexpr nnz_t n = 1000;
+  constexpr nnz_t grain = 128;  // > the old hardcoded 64
+  std::vector<int> owner(n, -1);
+  parallel_for_dynamic(
+      n, [&](nnz_t i) { owner[i] = thread_id(); }, grain);
+  set_num_threads(1);
+  for (nnz_t b = 0; b < n; b += grain) {
+    const nnz_t end = std::min(b + grain, n);
+    for (nnz_t i = b; i < end; ++i) {
+      ASSERT_GE(owner[i], 0) << "iteration " << i << " never ran";
+      EXPECT_EQ(owner[i], owner[b])
+          << "grain-" << grain << " block at " << b << " split across threads";
+    }
+  }
+}
+
+TEST(Parallel, ChunkedCoversAllOnceWithDisjointRanges) {
+  set_num_threads(3);
+  constexpr nnz_t n = 100;
+  std::vector<int> hits(n, 0);
+  parallel_for_chunked(n, [&](int tid, Range r) {
+    EXPECT_GE(tid, 0);
+    EXPECT_LE(r.begin, r.end);
+    // Ranges are disjoint per thread, so unsynchronized writes are safe.
+    for (nnz_t i = r.begin; i < r.end; ++i) ++hits[i];
+  });
+  set_num_threads(1);
+  for (nnz_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(Parallel, ThreadScopeRestoresOnExit) {
+  set_num_threads(4);
+  {
+    ThreadScope scope(2);
+    EXPECT_EQ(num_threads(), 2);
+  }
+  EXPECT_EQ(num_threads(), 4);
+  {
+    ThreadScope noop(0);  // 0 = inherit, must not disturb the setting
+    EXPECT_EQ(num_threads(), 4);
+  }
+  EXPECT_EQ(num_threads(), 4);
+  set_num_threads(1);
+}
+
+TEST(Workspace, ScratchIsAlignedAndSized) {
+  Workspace ws;
+  const auto s = ws.thread_scratch_bytes(100);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) %
+                Workspace::kAlignment,
+            0u);
+  const auto d = ws.thread_scratch<double>(7);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) %
+                Workspace::kAlignment,
+            0u);
+}
+
+TEST(Workspace, SlabIsReusedNotReallocated) {
+  Workspace ws;
+  const auto big = ws.thread_scratch_bytes(4096);
+  const std::size_t after_big = ws.allocated_bytes();
+  // A smaller (and an equal) request must reuse the same slab.
+  const auto small = ws.thread_scratch_bytes(64);
+  EXPECT_EQ(small.data(), big.data());
+  EXPECT_EQ(ws.allocated_bytes(), after_big);
+  const auto same = ws.thread_scratch_bytes(4096);
+  EXPECT_EQ(same.data(), big.data());
+  EXPECT_EQ(ws.allocated_bytes(), after_big);
+}
+
+TEST(Workspace, GrowthTracksTotalsAndPeak) {
+  Workspace ws;
+  EXPECT_EQ(ws.allocated_bytes(), 0u);
+  (void)ws.thread_scratch_bytes(128);
+  const std::size_t first = ws.allocated_bytes();
+  EXPECT_GE(first, 128u);
+  EXPECT_EQ(ws.peak_bytes(), first);
+  (void)ws.thread_scratch_bytes(100000);
+  EXPECT_GE(ws.allocated_bytes(), 100000u);
+  EXPECT_EQ(ws.peak_bytes(), ws.allocated_bytes());
+}
+
+TEST(Workspace, ReservePreGrowsAllSlabs) {
+  Workspace ws;
+  ws.reserve(4, 1024);
+  EXPECT_GE(ws.allocated_bytes(), 4u * 1024u);
+  // Growing an already-large-enough slab is a no-op.
+  const std::size_t before = ws.allocated_bytes();
+  ws.reserve(4, 512);
+  EXPECT_EQ(ws.allocated_bytes(), before);
+}
+
+TEST(Workspace, ReleaseFreesAndResetPeakRebaselines) {
+  Workspace ws;
+  (void)ws.thread_scratch_bytes(2048);
+  EXPECT_GT(ws.allocated_bytes(), 0u);
+  const std::size_t peak = ws.peak_bytes();
+  ws.release();
+  EXPECT_EQ(ws.allocated_bytes(), 0u);
+  EXPECT_EQ(ws.peak_bytes(), peak);  // the high-water mark survives release
+  ws.reset_peak();
+  EXPECT_EQ(ws.peak_bytes(), 0u);
+}
+
+TEST(Workspace, ZeroByteRequestIsEmpty) {
+  Workspace ws;
+  EXPECT_TRUE(ws.thread_scratch_bytes(0).empty());
+  EXPECT_EQ(ws.allocated_bytes(), 0u);
+}
+
+TEST(KernelStats, SinceComputesDeltas) {
+  KernelStats a;
+  a.symbolic_seconds = 1.0;
+  a.numeric_seconds = 2.0;
+  a.prepare_calls = 1;
+  a.compute_calls = 10;
+  a.flops = 1000;
+  a.peak_scratch_bytes = 4096;
+  KernelStats b = a;
+  b.numeric_seconds = 5.0;
+  b.compute_calls = 25;
+  b.flops = 3000;
+  const KernelStats d = b.since(a);
+  EXPECT_DOUBLE_EQ(d.symbolic_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(d.numeric_seconds, 3.0);
+  EXPECT_EQ(d.prepare_calls, 0u);
+  EXPECT_EQ(d.compute_calls, 15u);
+  EXPECT_EQ(d.flops, 2000u);
+  EXPECT_EQ(d.peak_scratch_bytes, 4096u);  // peaks carry over, not subtract
 }
 
 TEST(SpanUtil, ExclusiveScan) {

@@ -38,9 +38,10 @@ using namespace mdcp;
                "                     [--seed S] [--restarts N] [--algorithm als|mu] "
                "[--nonnegative] [--threads T]\n"
                "                     [--out-prefix P]\n"
-               "\n"
-               "engines: coo bcoo ttv-chain csf csf1 dtree-flat dtree-3lvl "
-               "dtree-bdt auto auto+probe\n");
+               "\nengines:\n");
+  for (const auto& e : EngineRegistry::instance().entries())
+    std::fprintf(stderr, "  %-12s %s\n", e.name.c_str(),
+                 e.description.c_str());
   std::exit(1);
 }
 
@@ -95,24 +96,6 @@ shape_t parse_shape(const std::string& s) {
   }
   if (shape.empty()) usage("empty --shape");
   return shape;
-}
-
-EngineKind parse_engine(const std::string& name) {
-  static const std::map<std::string, EngineKind> kinds{
-      {"coo", EngineKind::kCoo},
-      {"bcoo", EngineKind::kBlockedCoo},
-      {"ttv-chain", EngineKind::kTtvChain},
-      {"csf", EngineKind::kCsf},
-      {"csf1", EngineKind::kCsfOne},
-      {"dtree-flat", EngineKind::kDTreeFlat},
-      {"dtree-3lvl", EngineKind::kDTreeThreeLevel},
-      {"dtree-bdt", EngineKind::kDTreeBdt},
-      {"auto", EngineKind::kAuto},
-      {"auto+probe", EngineKind::kAutoProbed},
-  };
-  const auto it = kinds.find(name);
-  if (it == kinds.end()) usage(("unknown engine: " + name).c_str());
-  return it->second;
 }
 
 int cmd_stats(const Args& args) {
@@ -205,7 +188,9 @@ int cmd_decompose(const Args& args) {
   opt.max_iterations = static_cast<int>(args.get_num("iters", 50));
   opt.tolerance = static_cast<real_t>(args.get_num("tol", 1e-5));
   opt.seed = static_cast<std::uint64_t>(args.get_num("seed", 42));
-  opt.engine = parse_engine(args.get("engine", "auto"));
+  opt.engine_name = args.get("engine", "auto");
+  if (!EngineRegistry::instance().contains(opt.engine_name))
+    usage(("unknown engine: " + opt.engine_name).c_str());
   opt.nonnegative = args.has("nonnegative");
   opt.memory_budget_bytes = static_cast<std::size_t>(
       args.get_num("budget-mb", 0) * 1024.0 * 1024.0);
@@ -229,6 +214,12 @@ int cmd_decompose(const Args& args) {
   std::printf("time: total %.3fs  mttkrp %.3fs  dense %.3fs  fit %.3fs\n",
               result.total_seconds, result.mttkrp_seconds,
               result.dense_seconds, result.fit_seconds);
+  std::printf("kernel: symbolic %.3fs  numeric %.3fs  flops %llu  "
+              "peak-scratch %zu B\n",
+              result.kernel_stats.symbolic_seconds,
+              result.kernel_stats.numeric_seconds,
+              static_cast<unsigned long long>(result.kernel_stats.flops),
+              result.kernel_stats.peak_scratch_bytes);
 
   const std::string prefix = args.get("out-prefix");
   if (!prefix.empty()) {
