@@ -1,12 +1,35 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "mttkrp/registry.hpp"
+#include "obs/json.hpp"
 
 namespace mdcp::bench {
+
+namespace {
+bool g_json_mode = false;
+}  // namespace
+
+void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) g_json_mode = true;
+  }
+}
+
+bool json_mode() { return g_json_mode; }
+
+void note(const char* fmt, ...) {
+  if (g_json_mode) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+}
 
 double bench_scale() {
   if (const char* env = std::getenv("MDCP_BENCH_SCALE")) {
@@ -79,14 +102,31 @@ double time_mttkrp_sweep(MttkrpEngine& engine, const CooTensor& tensor,
   return *std::min_element(times.begin(), times.end());
 }
 
-TablePrinter::TablePrinter(std::vector<std::string> headers, int width)
-    : headers_(std::move(headers)), width_(width) {}
+TablePrinter::TablePrinter(std::vector<std::string> headers, int width,
+                           std::string name)
+    : headers_(std::move(headers)), width_(width), name_(std::move(name)) {}
 
 void TablePrinter::add_row(const std::vector<std::string>& cells) {
   rows_.push_back(cells);
 }
 
 void TablePrinter::print() const {
+  if (g_json_mode) {
+    obs::JsonWriter w;
+    w.begin_object().kv("table", name_.empty() ? "bench" : name_);
+    w.key("headers").begin_array();
+    for (const auto& h : headers_) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : rows_) {
+      w.begin_array();
+      for (const auto& c : row) w.value(c);
+      w.end_array();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return;
+  }
   const auto cell = [&](const std::string& s) {
     std::printf("%-*s", width_, s.c_str());
   };

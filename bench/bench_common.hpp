@@ -27,6 +27,19 @@ struct Dataset {
   CooTensor tensor;
 };
 
+/// Parses shared bench flags. Call first in every bench main:
+///   --json   emit tables as JSON objects on stdout (banners are suppressed;
+///            use note() for human-only commentary)
+/// Unknown flags are ignored so benches can add their own.
+void init(int argc, char** argv);
+
+/// True when --json was passed to init().
+bool json_mode();
+
+/// printf-style commentary that is dropped in --json mode (so stdout stays
+/// machine-parseable).
+void note(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
 /// Scale factor for dataset sizes (override with MDCP_BENCH_SCALE env var;
 /// 1.0 ≈ a minute-scale full suite on one core).
 double bench_scale();
@@ -56,10 +69,14 @@ std::unique_ptr<MttkrpEngine> make_column_engine(const EngineColumn& col,
 double time_mttkrp_sweep(MttkrpEngine& engine, const CooTensor& tensor,
                          const std::vector<Matrix>& factors, int reps = 5);
 
-/// Markdown-ish table printer: fixed-width columns, header + rows.
+/// Markdown-ish table printer: fixed-width columns, header + rows. In
+/// --json mode, print() instead emits one JSON object
+/// {"table":NAME,"headers":[...],"rows":[[...],...]} per table, so the
+/// experiment suite is consumable by trajectory tooling.
 class TablePrinter {
  public:
-  explicit TablePrinter(std::vector<std::string> headers, int width = 14);
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14,
+                        std::string name = "");
   void add_row(const std::vector<std::string>& cells);
   void print() const;
 
@@ -67,6 +84,7 @@ class TablePrinter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
   int width_;
+  std::string name_;
 };
 
 std::string fmt_seconds(double s);

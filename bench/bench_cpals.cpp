@@ -10,10 +10,11 @@
 #include "bench_common.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   CpAlsOptions opt;
   opt.rank = 16;
@@ -21,19 +22,18 @@ int main() {
   opt.tolerance = 0;  // fixed iteration count for fair timing
   opt.seed = 4242;
 
-  std::printf("== F7: CP-ALS per-iteration time (R=%u, %d iters, 1 thread) ==\n\n",
-              opt.rank, opt.max_iterations);
+  note("== F7: CP-ALS per-iteration time (R=%u, %d iters, 1 thread) ==\n\n",
+       opt.rank, opt.max_iterations);
 
   const std::vector<EngineKind> kinds{
       EngineKind::kCoo,       EngineKind::kCsf,      EngineKind::kDTreeFlat,
       EngineKind::kDTreeThreeLevel, EngineKind::kDTreeBdt, EngineKind::kAuto};
 
   for (const auto& ds : standard_datasets()) {
-    std::printf("dataset: %s (%s)\n", ds.name.c_str(),
-                ds.tensor.summary().c_str());
+    note("dataset: %s (%s)\n", ds.name.c_str(), ds.tensor.summary().c_str());
     TablePrinter table({"engine", "iter-total", "mttkrp", "dense", "fit",
                         "symbolic", "numeric", "scratch", "final-fit"},
-                       14);
+                       14, "F7/" + ds.name);
     for (EngineKind k : kinds) {
       opt.engine = k;
       const auto result = cp_als(ds.tensor, opt);

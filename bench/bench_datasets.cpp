@@ -9,14 +9,15 @@
 #include "bench_common.hpp"
 #include "tensor/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
-  std::printf("== T1: dataset statistics (scale=%.2f) ==\n\n", bench_scale());
+  init(argc, argv);
+  note("== T1: dataset statistics (scale=%.2f) ==\n\n", bench_scale());
   TablePrinter table({"dataset", "order", "shape", "nnz", "density",
                       "max-slice-nnz"},
-                     18);
+                     18, "T1");
   for (const auto& ds : standard_datasets()) {
     const auto stats = compute_stats(ds.tensor);
     std::string shape;

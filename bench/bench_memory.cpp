@@ -18,19 +18,19 @@ std::size_t coo_bytes(const mdcp::CooTensor& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   const index_t rank = 16;
   Rng rng(19);
 
-  std::printf("== F5: memory footprint (R=%u); ratios are vs input COO ==\n\n",
-              rank);
+  note("== F5: memory footprint (R=%u); ratios are vs input COO ==\n\n", rank);
   TablePrinter table({"dataset", "coo-input", "csf", "flat-peak", "3lvl-peak",
                       "bdt-peak", "bdt/input"},
-                     14);
+                     14, "F5");
 
   for (const auto& ds : standard_datasets()) {
     const std::size_t input = coo_bytes(ds.tensor);
@@ -59,7 +59,7 @@ int main() {
                              static_cast<double>(input))});
   }
   table.print();
-  std::printf("(peaks include persistent symbolic index arrays + the largest\n"
-              " set of simultaneously live memoized value matrices)\n");
+  note("(peaks include persistent symbolic index arrays + the largest\n"
+       " set of simultaneously live memoized value matrices)\n");
   return 0;
 }

@@ -38,25 +38,26 @@ double spearman(const std::vector<double>& a, const std::vector<double>& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   const index_t rank = 16;
   Rng rng(23);
 
-  std::printf("== F6: cost-model accuracy (R=%u, 1 thread) ==\n\n", rank);
+  note("== F6: cost-model accuracy (R=%u, 1 thread) ==\n\n", rank);
   const auto params = calibrate_cost_model(rank);
-  std::printf("calibrated: %.3g s/flop, %.3g s/byte\n\n",
-              params.seconds_per_flop, params.seconds_per_byte);
+  note("calibrated: %.3g s/flop, %.3g s/byte\n\n", params.seconds_per_flop,
+       params.seconds_per_byte);
 
   TablePrinter table({"dataset", "#strat", "picked", "picked-t", "best-t",
                       "regret", "probed-regret", "spearman"},
-                     13);
+                     13, "F6");
   TablePrinter mem_table({"dataset", "picked", "mem-pred", "mem-meas",
                           "pred/meas"},
-                         14);
+                         14, "F6c");
 
   for (const auto& ds : standard_datasets()) {
     const auto report = select_strategy(ds.tensor, rank, 0, params);
@@ -108,10 +109,10 @@ int main() {
                                                            1)))});
   }
   table.print();
-  std::printf("(regret 1.0x = the model picked the measured-fastest strategy)\n\n");
-  std::printf("== F6c: model memory prediction vs measured peak ==\n\n");
+  note("(regret 1.0x = the model picked the measured-fastest strategy)\n\n");
+  note("== F6c: model memory prediction vs measured peak ==\n\n");
   mem_table.print();
-  std::printf("(mem-meas: engine symbolic+value peak plus workspace scratch\n"
-              " peak; pred/meas near 1.0x validates the tuner's budget check)\n");
+  note("(mem-meas: engine symbolic+value peak plus workspace scratch\n"
+       " peak; pred/meas near 1.0x validates the tuner's budget check)\n");
   return 0;
 }

@@ -9,21 +9,21 @@
 #include "bench_common.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   const index_t rank = 16;
   Rng rng(7);
 
-  std::printf(
-      "== F1: MTTKRP sweep time (R=%u, 1 thread); speedup vs csf ==\n\n",
-      rank);
+  note("== F1: MTTKRP sweep time (R=%u, 1 thread); speedup vs csf ==\n\n",
+       rank);
   const auto cols = engine_columns();
   std::vector<std::string> headers{"dataset"};
   for (const auto& c : cols) headers.push_back(c.label);
-  TablePrinter table(headers, 15);
+  TablePrinter table(headers, 15, "F1");
 
   for (const auto& ds : standard_datasets()) {
     std::vector<Matrix> factors;
@@ -48,6 +48,6 @@ int main() {
     table.add_row(cells);
   }
   table.print();
-  std::printf("(parenthesized: speedup of the column over csf; >1 is faster)\n");
+  note("(parenthesized: speedup of the column over csf; >1 is faster)\n");
   return 0;
 }

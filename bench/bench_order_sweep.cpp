@@ -11,25 +11,25 @@
 #include "bench_common.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   const index_t rank = 16;
   const auto nnz = static_cast<nnz_t>(150000 * bench_scale());
   Rng rng(11);
 
-  std::printf(
-      "== F3: MTTKRP sweep time vs order (R=%u, nnz~%llu, 1 thread) ==\n\n",
-      rank, static_cast<unsigned long long>(nnz));
+  note("== F3: MTTKRP sweep time vs order (R=%u, nnz~%llu, 1 thread) ==\n\n",
+       rank, static_cast<unsigned long long>(nnz));
   const auto cols = engine_columns();
   std::vector<std::string> headers{"order"};
   for (const auto& col : cols) {
     if (col.label != "auto") headers.push_back(col.label);
   }
   headers.push_back("bdt/csf");
-  TablePrinter table(headers, 13);
+  TablePrinter table(headers, 13, "F3");
 
   for (mdcp::mode_t order = 3; order <= 8; ++order) {
     // Keep the total index space roughly constant across orders.
@@ -56,7 +56,7 @@ int main() {
     table.add_row(cells);
   }
   table.print();
-  std::printf("(bdt/csf: speedup of the full dimension tree over the\n"
-              " SPLATT-style baseline — expected to grow with the order)\n");
+  note("(bdt/csf: speedup of the full dimension tree over the\n"
+       " SPLATT-style baseline — expected to grow with the order)\n");
   return 0;
 }

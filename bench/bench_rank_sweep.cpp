@@ -7,10 +7,11 @@
 #include "bench_common.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   Rng rng(13);
   const double s = bench_scale();
@@ -25,9 +26,10 @@ int main() {
                           static_cast<nnz_t>(150000 * s),
                           {.clusters = 128, .spread = 4.0}, 106)});
 
-  std::printf("== F4: MTTKRP sweep time vs rank (1 thread) ==\n\n");
+  note("== F4: MTTKRP sweep time vs rank (1 thread) ==\n\n");
   for (const auto& ds : datasets) {
-    TablePrinter table({"rank", "csf", "dtree-bdt", "speedup"}, 14);
+    TablePrinter table({"rank", "csf", "dtree-bdt", "speedup"}, 14,
+                       "F4/" + ds.name);
     for (index_t rank : {4u, 8u, 16u, 32u, 64u}) {
       std::vector<Matrix> factors;
       for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
@@ -40,8 +42,7 @@ int main() {
       table.add_row({std::to_string(rank), fmt_seconds(csf_time),
                      fmt_seconds(bdt_time), fmt_ratio(csf_time / bdt_time)});
     }
-    std::printf("dataset: %s (%s)\n", ds.name.c_str(),
-                ds.tensor.summary().c_str());
+    note("dataset: %s (%s)\n", ds.name.c_str(), ds.tensor.summary().c_str());
     table.print();
   }
   return 0;

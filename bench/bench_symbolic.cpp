@@ -10,23 +10,24 @@
 #include "bench_common.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   set_num_threads(1);
   const index_t rank = 16;
   Rng rng(29);
 
-  std::printf("== T2: preprocessing (setup) cost vs per-iteration gain ==\n\n");
+  note("== T2: preprocessing (setup) cost vs per-iteration gain ==\n\n");
 
   for (const auto& ds : standard_datasets()) {
     std::vector<Matrix> factors;
     for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
       factors.push_back(Matrix::random_uniform(ds.tensor.dim(m), rank, rng));
 
-    TablePrinter table({"engine", "setup", "per-iter", "break-even-iters"},
-                       18);
+    TablePrinter table({"engine", "setup", "per-iter", "break-even-iters"}, 18,
+                       "T2/" + ds.name);
     double coo_iter = 0;
     double coo_setup = 0;
     for (const auto& col : engine_columns()) {
@@ -46,11 +47,10 @@ int main() {
       table.add_row({col.label, fmt_seconds(setup), fmt_seconds(iter),
                      breakeven});
     }
-    std::printf("dataset: %s (%s)\n", ds.name.c_str(),
-                ds.tensor.summary().c_str());
+    note("dataset: %s (%s)\n", ds.name.c_str(), ds.tensor.summary().c_str());
     table.print();
   }
-  std::printf("(break-even: iterations after which the engine's total time\n"
-              " drops below coo's, accounting for its extra setup cost)\n");
+  note("(break-even: iterations after which the engine's total time\n"
+       " drops below coo's, accounting for its extra setup cost)\n");
   return 0;
 }

@@ -10,10 +10,11 @@
 #include "bench_common.hpp"
 #include "util/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdcp;
   using namespace mdcp::bench;
 
+  init(argc, argv);
   const index_t rank = 16;
   Rng rng(17);
   const auto tensor =
@@ -23,10 +24,10 @@ int main() {
   for (mdcp::mode_t m = 0; m < tensor.order(); ++m)
     factors.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));
 
-  std::printf("== F2: thread scaling on tags4d (R=%u) ==\n", rank);
-  std::printf("   [host has 1 physical core: >1 thread is oversubscribed]\n\n");
+  note("== F2: thread scaling on tags4d (R=%u) ==\n", rank);
+  note("   [host has 1 physical core: >1 thread is oversubscribed]\n\n");
 
-  TablePrinter table({"threads", "csf", "dtree-bdt", "coo"}, 14);
+  TablePrinter table({"threads", "csf", "dtree-bdt", "coo"}, 14, "F2");
   for (int threads : {1, 2, 4}) {
     set_num_threads(threads);
     CsfMttkrpEngine csf(tensor);

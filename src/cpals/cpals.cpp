@@ -8,6 +8,10 @@
 #include "la/cholesky.hpp"
 #include "model/tuner.hpp"
 #include "mttkrp/registry.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -82,6 +86,22 @@ CpAlsResult cp_als_best_of(const CooTensor& tensor,
   return best;
 }
 
+namespace {
+
+void append_kernel_stats(obs::JsonWriter& w, const KernelStats& s) {
+  w.key("kernel")
+      .begin_object()
+      .kv("symbolic_seconds", s.symbolic_seconds)
+      .kv("numeric_seconds", s.numeric_seconds)
+      .kv("prepare_calls", s.prepare_calls)
+      .kv("compute_calls", s.compute_calls)
+      .kv("flops", s.flops)
+      .kv("peak_scratch_bytes", static_cast<std::uint64_t>(s.peak_scratch_bytes))
+      .end_object();
+}
+
+}  // namespace
+
 CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
                    const CpAlsOptions& options) {
   MDCP_CHECK_MSG(options.rank > 0, "rank must be positive");
@@ -89,15 +109,25 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   const mode_t order = tensor.order();
   const index_t rank = options.rank;
 
+  MDCP_TRACE_SPAN("cpals.run", "rank", static_cast<std::int64_t>(rank));
+
   engine.invalidate_all();
   if (!engine.prepared()) engine.prepare(tensor, rank);
   const KernelStats stats_before = engine.stats();
 
   CpAlsResult result;
   result.engine_name = engine.name();
+  result.mttkrp_mode_seconds.assign(order, 0.0);
+
+  // Memo counter snapshots for per-iteration hit/miss deltas (global
+  // registry counters; zero-delta for non-memoizing engines).
+  auto& metrics = obs::MetricsRegistry::instance();
+  obs::Counter& memo_hits = metrics.counter("dtree.memo_hits");
+  obs::Counter& memo_misses = metrics.counter("dtree.memo_misses");
 
   WallTimer total_timer;
   PhaseTimer mttkrp_t, dense_t, fit_t;
+  std::vector<double> iter_mode_seconds(order, 0.0);
 
   // Initialize factors Uniform(0,1) and precompute Gram matrices.
   Rng rng(options.seed);
@@ -116,11 +146,19 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   real_t prev_fit = 0;
 
   for (int it = 0; it < options.max_iterations; ++it) {
+    MDCP_TRACE_SPAN("cpals.iteration", "iter", static_cast<std::int64_t>(it));
+    const KernelStats iter_stats_before = engine.stats();
+    const std::uint64_t iter_hits_before = memo_hits.value();
+    const std::uint64_t iter_misses_before = memo_misses.value();
+
     for (mode_t n = 0; n < order; ++n) {
       mttkrp_t.start();
       engine.compute(n, factors, mttkrp_out);
       mttkrp_t.stop();
+      iter_mode_seconds[n] = mttkrp_t.last_seconds();
+      result.mttkrp_mode_seconds[n] += mttkrp_t.last_seconds();
 
+      MDCP_TRACE_SPAN("cpals.solve", "mode", static_cast<std::int64_t>(n));
       dense_t.start();
       // H^(n) = ∘_{i≠n} Gram_i.
       h.resize(rank, rank, 1);
@@ -157,28 +195,32 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     // depend on U^(n), so it is still consistent with the updated factor.
     // ⟨X,M⟩ = Σ_r λ_r Σ_i U(i,r)·M(i,r); ‖M‖² = λᵀ(∘_n Gram_n)λ — both from
     // state already in hand, no factor copies.
-    fit_t.start();
-    real_t inner = 0;
+    real_t fit = 0;
     {
-      const auto& u = factors[order - 1];
-      for (index_t i = 0; i < u.rows(); ++i) {
-        const auto urow = u.row(i);
-        const auto mrow = mttkrp_out.row(i);
-        for (index_t r = 0; r < rank; ++r)
-          inner += lambda[r] * urow[r] * mrow[r];
+      MDCP_TRACE_SPAN("cpals.fit");
+      fit_t.start();
+      real_t inner = 0;
+      {
+        const auto& u = factors[order - 1];
+        for (index_t i = 0; i < u.rows(); ++i) {
+          const auto urow = u.row(i);
+          const auto mrow = mttkrp_out.row(i);
+          for (index_t r = 0; r < rank; ++r)
+            inner += lambda[r] * urow[r] * mrow[r];
+        }
       }
+      real_t m_norm_sq = 0;
+      {
+        Matrix acc(rank, rank, 1);
+        for (mode_t i = 0; i < order; ++i) hadamard_inplace(acc, grams[i]);
+        for (index_t r = 0; r < rank; ++r)
+          for (index_t q = 0; q < rank; ++q)
+            m_norm_sq += lambda[r] * lambda[q] * acc(r, q);
+      }
+      const real_t m_norm = std::sqrt(std::max<real_t>(m_norm_sq, 0));
+      fit = fit_from_parts(x_norm, inner, m_norm);
+      fit_t.stop();
     }
-    real_t m_norm_sq = 0;
-    {
-      Matrix acc(rank, rank, 1);
-      for (mode_t i = 0; i < order; ++i) hadamard_inplace(acc, grams[i]);
-      for (index_t r = 0; r < rank; ++r)
-        for (index_t q = 0; q < rank; ++q)
-          m_norm_sq += lambda[r] * lambda[q] * acc(r, q);
-    }
-    const real_t m_norm = std::sqrt(std::max<real_t>(m_norm_sq, 0));
-    const real_t fit = fit_from_parts(x_norm, inner, m_norm);
-    fit_t.stop();
 
     result.fits.push_back(fit);
     result.iterations = it + 1;
@@ -186,6 +228,28 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
       std::printf("[cp-als %s] iter %3d fit %.6f\n", engine.name().c_str(),
                   it + 1, static_cast<double>(fit));
     }
+
+    if (options.reporter != nullptr) {
+      obs::JsonWriter w;
+      w.begin_object()
+          .kv("type", "iteration")
+          .kv("schema", obs::kReportSchema)
+          .kv("iter", it + 1)
+          .kv("fit", static_cast<double>(fit))
+          .kv("fit_delta", static_cast<double>(fit - prev_fit))
+          .kv("mttkrp_seconds", mttkrp_t.total_seconds())
+          .kv("dense_seconds", dense_t.total_seconds())
+          .kv("fit_seconds", fit_t.total_seconds());
+      w.key("mttkrp_mode_seconds").begin_array();
+      for (mode_t n = 0; n < order; ++n) w.value(iter_mode_seconds[n]);
+      w.end_array();
+      w.kv("memo_hits", memo_hits.value() - iter_hits_before)
+          .kv("memo_misses", memo_misses.value() - iter_misses_before);
+      append_kernel_stats(w, engine.stats().since(iter_stats_before));
+      w.end_object();
+      options.reporter->write_line(w.str());
+    }
+
     if (it > 0 && std::abs(fit - prev_fit) < options.tolerance) {
       result.converged = true;
       prev_fit = fit;
@@ -200,7 +264,73 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   result.dense_seconds = dense_t.total_seconds();
   result.fit_seconds = fit_t.total_seconds();
   result.total_seconds = total_timer.seconds();
+  // KernelStats::since is a field-wise delta EXCEPT peak_scratch_bytes: a
+  // workspace high-water mark cannot be subtracted, so the peak is carried
+  // over as-is. With an engine reused across runs this peak may therefore
+  // predate this run (it is a process-lifetime bound, not a per-run one).
   result.kernel_stats = engine.stats().since(stats_before);
+  result.engine_peak_memory_bytes = engine.peak_memory_bytes();
+
+  if (const auto* auto_engine = dynamic_cast<const AutoEngine*>(&engine)) {
+    const auto& prediction = auto_engine->report().winner().prediction;
+    result.predicted_seconds_per_iteration = prediction.seconds_per_iteration;
+    result.predicted_memory_bytes = prediction.total_memory_bytes();
+    // Close the model-accuracy loop: measured counterparts of the tuner's
+    // prediction, exported so every auto run doubles as a model-error
+    // sample (cf. bench_model).
+    if (result.iterations > 0) {
+      const double measured =
+          result.mttkrp_seconds / static_cast<double>(result.iterations);
+      metrics.gauge("tuner.measured_seconds_per_iter").set(measured);
+      if (measured > 0) {
+        metrics.gauge("tuner.time_error_ratio")
+            .set(result.predicted_seconds_per_iteration / measured);
+      }
+      metrics.gauge("tuner.measured_memory_bytes")
+          .set(static_cast<double>(result.engine_peak_memory_bytes));
+      if (result.engine_peak_memory_bytes > 0) {
+        metrics.gauge("tuner.memory_error_ratio")
+            .set(static_cast<double>(result.predicted_memory_bytes) /
+                 static_cast<double>(result.engine_peak_memory_bytes));
+      }
+    }
+  }
+
+  if (options.reporter != nullptr) {
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("type", "summary")
+        .kv("schema", obs::kReportSchema)
+        .kv("engine", result.engine_name)
+        .kv("iterations", result.iterations)
+        .kv("converged", result.converged)
+        .kv("final_fit", static_cast<double>(result.final_fit()))
+        .kv("total_seconds", result.total_seconds)
+        .kv("mttkrp_seconds", result.mttkrp_seconds)
+        .kv("dense_seconds", result.dense_seconds)
+        .kv("fit_seconds", result.fit_seconds);
+    w.key("mttkrp_mode_seconds").begin_array();
+    for (mode_t n = 0; n < order; ++n) w.value(result.mttkrp_mode_seconds[n]);
+    w.end_array();
+    append_kernel_stats(w, result.kernel_stats);
+    w.kv("engine_peak_memory_bytes",
+         static_cast<std::uint64_t>(result.engine_peak_memory_bytes))
+        .kv("predicted_seconds_per_iteration",
+            result.predicted_seconds_per_iteration)
+        .kv("predicted_memory_bytes",
+            static_cast<std::uint64_t>(result.predicted_memory_bytes))
+        .kv("memo_hits_total", memo_hits.value())
+        .kv("memo_misses_total", memo_misses.value());
+    w.key("workspace_thread_peak_bytes").begin_array();
+    const Workspace& ws = engine.workspace();
+    for (int tid = 0; tid < Workspace::kMaxThreads; ++tid) {
+      const std::size_t bytes = ws.thread_slab_bytes(tid);
+      if (bytes == 0) break;  // slabs are claimed densely from tid 0
+      w.value(static_cast<std::uint64_t>(bytes));
+    }
+    w.end_array().end_object();
+    options.reporter->write_line(w.str());
+  }
   return result;
 }
 

@@ -18,6 +18,10 @@
 
 namespace mdcp {
 
+namespace obs {
+class RunReporter;
+}  // namespace obs
+
 /// Selectable MTTKRP computation strategies. Each kind maps to an
 /// EngineRegistry name (engine_kind_name); new engines registered at runtime
 /// are reachable through CpAlsOptions::engine_name without extending this
@@ -63,6 +67,12 @@ struct CpAlsOptions {
   /// normalization (multilinear NMF-style decompositions for count data).
   bool nonnegative = false;
   bool verbose = false;
+  /// Optional JSONL run reporter: when set, cp_als appends one "iteration"
+  /// record per ALS iteration (fit, fit delta, per-mode MTTKRP seconds,
+  /// phase split, kernel-stats and memo hit/miss deltas) and one "summary"
+  /// record at the end. The caller owns the reporter (and typically writes
+  /// the provenance header first); see obs/report.hpp.
+  obs::RunReporter* reporter = nullptr;
 };
 
 struct CpAlsResult {
@@ -77,10 +87,26 @@ struct CpAlsResult {
   double dense_seconds = 0;  ///< Gram/Hadamard/solve/normalize
   double fit_seconds = 0;
   double total_seconds = 0;
+  /// MTTKRP seconds per mode, summed over all iterations (one entry per
+  /// tensor mode). Exposes the asymmetric per-mode cost the memoized
+  /// engines exploit.
+  std::vector<double> mttkrp_mode_seconds;
 
   /// Engine-side counters for this run only (symbolic/numeric split, flops,
   /// peak workspace scratch) — the delta of the engine's KernelStats.
   KernelStats kernel_stats;
+
+  /// Peak auxiliary memory of the engine (index structures + memoized value
+  /// matrices, excluding workspace scratch) observed during the run.
+  std::size_t engine_peak_memory_bytes = 0;
+
+  // Tuner prediction for the chosen strategy when the engine was
+  // model-driven (auto / auto+probe); zeros for fixed engines. The measured
+  // counterparts are mttkrp_seconds / iterations and
+  // engine_peak_memory_bytes, which makes the paper's model-accuracy
+  // experiment reproducible from any ordinary run.
+  double predicted_seconds_per_iteration = 0;
+  std::size_t predicted_memory_bytes = 0;
 
   real_t final_fit() const { return fits.empty() ? 0 : fits.back(); }
 };

@@ -3,6 +3,8 @@
 #include <array>
 #include <span>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/types.hpp"
@@ -10,6 +12,26 @@
 namespace mdcp {
 
 namespace {
+
+// Memoization scoreboard: a *hit* is a node requested while its cached
+// values are still valid (the memoized reuse the dimension-tree scheme
+// exists for); a *miss* is a node that had to be re-evaluated. The root is
+// never counted — it aliases the input tensor and is always "valid".
+obs::Counter& memo_hits_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("dtree.memo_hits");
+  return c;
+}
+obs::Counter& memo_misses_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("dtree.memo_misses");
+  return c;
+}
+obs::Counter& invalidated_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("dtree.nodes_invalidated");
+  return c;
+}
 
 // Computes one node's values from its (already materialized) parent.
 // Returns the multiply/add count of the pass.
@@ -71,11 +93,21 @@ std::uint64_t compute_node_values(DimensionTree& tree, int which,
                                   index_t rank, Workspace& ws) {
   auto& n = tree.node(which);
   if (n.is_root()) return 0;  // the root aliases the input tensor
-  if (n.valid && n.values.cols() == rank) return 0;
+  if (n.valid && n.values.cols() == rank) {
+    memo_hits_metric().add();
+    return 0;
+  }
+  memo_misses_metric().add();
 
   const std::uint64_t above =
       compute_node_values(tree, n.parent, factors, rank, ws);
-  return above + ttmv_from_parent(tree, which, factors, rank, ws);
+  std::uint64_t own;
+  {
+    MDCP_TRACE_SPAN("dtree.node_eval", "node",
+                    static_cast<std::int64_t>(which));
+    own = ttmv_from_parent(tree, which, factors, rank, ws);
+  }
+  return above + own;
 }
 
 void invalidate_mode(DimensionTree& tree, mode_t mode) {
@@ -85,6 +117,7 @@ void invalidate_mode(DimensionTree& tree, mode_t mode) {
     if (!mode_in(n.mode_set, mode) && n.valid) {
       n.valid = false;
       n.values.resize(0, 0);
+      invalidated_metric().add();
     }
   }
 }
@@ -92,6 +125,7 @@ void invalidate_mode(DimensionTree& tree, mode_t mode) {
 void invalidate_all_nodes(DimensionTree& tree) {
   for (int i = 0; i < tree.size(); ++i) {
     auto& n = tree.node(i);
+    if (n.valid && !n.is_root()) invalidated_metric().add();
     n.valid = false;
     n.values.resize(0, 0);
   }

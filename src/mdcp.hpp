@@ -34,6 +34,11 @@
 #include "mttkrp/engine.hpp"
 #include "mttkrp/registry.hpp"
 #include "mttkrp/ttv_chain.hpp"
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "tensor/compact.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "tensor/generator.hpp"

@@ -2,15 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace mdcp {
 
+namespace {
+
+// Publishes the tuner's decision so a later measured run can be compared
+// against the prediction (cp_als fills in the measured side and the error
+// ratios; see "tuner.*" gauges in docs/observability.md).
+void record_selection(const TunerReport& report) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("tuner.selections").add();
+  const auto& win = report.winner();
+  reg.gauge("tuner.predicted_seconds_per_iter")
+      .set(win.prediction.seconds_per_iteration);
+  reg.gauge("tuner.predicted_memory_bytes")
+      .set(static_cast<double>(win.prediction.total_memory_bytes()));
+}
+
+}  // namespace
+
 TunerReport select_strategy(const CooTensor& tensor, index_t rank,
                             std::size_t memory_budget_bytes,
                             const CostModelParams& params) {
   MDCP_CHECK(rank > 0);
+  MDCP_TRACE_SPAN("tuner.select", "rank", static_cast<std::int64_t>(rank));
   ProjectionCounter counter(tensor);
   TunerReport report;
   for (auto& strat : enumerate_strategies(tensor, &counter)) {
@@ -45,6 +65,7 @@ TunerReport select_strategy(const CooTensor& tensor, index_t rank,
     }
     report.chosen = best;
   }
+  record_selection(report);
   return report;
 }
 
@@ -71,6 +92,8 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
        ++i) {
     if (!report.ranked[i].fits_budget) continue;
     ++probed;
+    MDCP_TRACE_SPAN("tuner.probe", "candidate",
+                    static_cast<std::int64_t>(i));
     DTreeMttkrpEngine engine(report.ranked[i].strategy.spec,
                              report.ranked[i].strategy.name, ctx);
     engine.prepare(tensor, rank);
@@ -93,6 +116,7 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
     }
   }
   report.chosen = best_idx;
+  record_selection(report);  // re-publish: probing may move the winner
   return report;
 }
 

@@ -2,11 +2,50 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace mdcp {
+
+namespace {
+
+// Registry references resolved once — the NVI wrappers run once per
+// prepare()/compute(), so metric updates must stay at relaxed-atomic cost.
+obs::Counter& prepare_calls_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("kernel.prepare_calls");
+  return c;
+}
+obs::Counter& compute_calls_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("kernel.compute_calls");
+  return c;
+}
+obs::Counter& flops_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("kernel.flops");
+  return c;
+}
+obs::Gauge& symbolic_seconds_metric() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("kernel.symbolic_seconds");
+  return g;
+}
+obs::Gauge& numeric_seconds_metric() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("kernel.numeric_seconds");
+  return g;
+}
+obs::Gauge& peak_scratch_metric() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("workspace.peak_scratch_bytes");
+  return g;
+}
+
+}  // namespace
 
 MttkrpEngine::MttkrpEngine(KernelContext ctx) : ctx_(ctx) {
   if (ctx_.workspace == nullptr) ctx_.workspace = &default_workspace();
@@ -17,12 +56,19 @@ void MttkrpEngine::prepare(const CooTensor& tensor, index_t rank) {
   rank_hint_ = rank;
   WallTimer timer;
   {
+    MDCP_TRACE_SPAN(("prepare:" + name()).c_str(), "rank",
+                    static_cast<std::int64_t>(rank));
     ThreadScope scope(ctx_.threads);
     do_prepare(rank);
   }
+  // name() may change during do_prepare (the auto engine resolves to its
+  // chosen strategy), so the compute-span label is cached afterwards.
+  trace_label_ = "mttkrp:" + name();
   const double secs = timer.seconds();
   stats_.symbolic_seconds += secs;
   ++stats_.prepare_calls;
+  prepare_calls_metric().add();
+  symbolic_seconds_metric().add(secs);
   if (ctx_.stats != nullptr) {
     ctx_.stats->symbolic_seconds += secs;
     ++ctx_.stats->prepare_calls;
@@ -35,6 +81,8 @@ void MttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
                                        << ": compute() before prepare()");
   WallTimer timer;
   {
+    MDCP_TRACE_SPAN(trace_label_.c_str(), "mode",
+                    static_cast<std::int64_t>(mode));
     ThreadScope scope(ctx_.threads);
     do_compute(mode, factors, out);
   }
@@ -43,6 +91,10 @@ void MttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
   ++stats_.compute_calls;
   stats_.peak_scratch_bytes =
       std::max(stats_.peak_scratch_bytes, ctx_.workspace->peak_bytes());
+  compute_calls_metric().add();
+  numeric_seconds_metric().add(secs);
+  peak_scratch_metric().record_max(
+      static_cast<double>(ctx_.workspace->peak_bytes()));
   if (ctx_.stats != nullptr) {
     ctx_.stats->numeric_seconds += secs;
     ++ctx_.stats->compute_calls;
@@ -58,6 +110,7 @@ const CooTensor& MttkrpEngine::tensor() const {
 
 void MttkrpEngine::count_flops(std::uint64_t flops) noexcept {
   stats_.flops += flops;
+  flops_metric().add(flops);
   if (ctx_.stats != nullptr) ctx_.stats->flops += flops;
 }
 

@@ -110,6 +110,9 @@ class MttkrpEngine {
   const CooTensor* tensor_ = nullptr;
   index_t rank_hint_ = 0;
   KernelStats stats_;
+  // Span label for the numeric phase ("mttkrp:<name>"), cached at prepare()
+  // time so compute() never allocates for tracing.
+  std::string trace_label_;
 };
 
 /// Checks that the factor list is consistent with the tensor: one matrix per

@@ -1,0 +1,31 @@
+// Single monotonic timebase for all of mdcp's observability.
+//
+// Every timestamp the library records — tracer span begin/end, WallTimer /
+// PhaseTimer readings, and therefore every KernelStats second — derives from
+// obs::clock_ns(), so a span's position on the trace timeline and a phase
+// timer's accumulated seconds are directly comparable (same epoch, same
+// clock, no cross-clock skew).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mdcp::obs {
+
+/// Nanoseconds on the process-wide monotonic clock (steady_clock). The
+/// epoch is unspecified but fixed for the process lifetime; only differences
+/// are meaningful.
+inline std::uint64_t clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds between two clock_ns() readings.
+inline double ns_to_seconds(std::uint64_t begin_ns,
+                            std::uint64_t end_ns) noexcept {
+  return static_cast<double>(end_ns - begin_ns) * 1e-9;
+}
+
+}  // namespace mdcp::obs

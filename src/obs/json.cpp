@@ -1,0 +1,125 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mdcp::obs {
+
+void json_escape(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::prefix_value_() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) out_ += ',';
+    stack_.back().has_items = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix_value_();
+  out_ += '{';
+  stack_.push_back({'o', false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix_value_();
+  out_ += '[';
+  stack_.push_back({'a', false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) out_ += ',';
+    stack_.back().has_items = true;
+  }
+  out_ += '"';
+  json_escape(k, out_);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prefix_value_();
+  out_ += '"';
+  json_escape(v, out_);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  prefix_value_();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix_value_();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix_value_();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prefix_value_();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prefix_value_();
+  out_ += "null";
+  return *this;
+}
+
+void JsonWriter::clear() {
+  out_.clear();
+  stack_.clear();
+  after_key_ = false;
+}
+
+}  // namespace mdcp::obs

@@ -1,0 +1,71 @@
+// Minimal streaming JSON writer shared by the tracer, the metrics registry,
+// and the run reporter.
+//
+// No external JSON dependency: the writer appends to an internal string and
+// tracks the container stack so commas and colons land in the right places.
+// Usage:
+//
+//   JsonWriter w;
+//   w.begin_object().kv("fit", 0.93).key("shape").begin_array();
+//   for (auto d : shape) w.value(std::uint64_t{d});
+//   w.end_array().end_object();
+//   os << w.str();
+//
+// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdcp::obs {
+
+/// Appends the JSON string-escape of `s` (no surrounding quotes) to `out`.
+void json_escape(std::string_view s, std::string& out);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The serialized document so far. Valid JSON once all containers are
+  /// closed.
+  const std::string& str() const noexcept { return out_; }
+  void clear();
+
+ private:
+  void prefix_value_();
+
+  std::string out_;
+  // One frame per open container: 'o' / 'a', plus whether it has items.
+  struct Frame {
+    char kind;
+    bool has_items;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace mdcp::obs

@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace mdcp::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters()) w.kv(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges()) w.kv(name, value);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  os << to_json() << '\n';
+  return os.good();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+}
+
+}  // namespace mdcp::obs

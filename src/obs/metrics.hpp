@@ -1,0 +1,95 @@
+// Named counters and gauges with JSON export.
+//
+// The registry is the library's shared scoreboard: dimension-tree memo hits
+// vs. re-evaluations, engine call/flop totals, tuner predicted-vs-measured
+// error, workspace peaks. Metric objects are created on first lookup and
+// live for the process lifetime, so hot paths cache the reference once:
+//
+//   static obs::Counter& hits =
+//       obs::MetricsRegistry::instance().counter("dtree.memo_hits");
+//   hits.add();
+//
+// Counter/Gauge updates are lock-free relaxed atomics — safe from any
+// thread, including inside OpenMP regions. Lookup takes a mutex (do it
+// outside hot loops). reset() zeroes values but never invalidates
+// references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdcp::obs {
+
+/// Monotonic event count (resettable).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written / accumulated / max-tracked double value.
+class Gauge {
+ public:
+  void set(double x) noexcept { v_.store(x, std::memory_order_relaxed); }
+  void add(double x) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+    }
+  }
+  void record_max(double x) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < x &&
+           !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Finds or creates the named metric. The returned reference is stable for
+  /// the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Name-sorted value snapshots.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  /// {"counters":{...},"gauges":{...}}, names sorted.
+  std::string to_json() const;
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Zeroes every metric (references stay valid).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace mdcp::obs

@@ -1,0 +1,65 @@
+// Machine-readable run reporting (JSONL) with build provenance.
+//
+// A run report is a stream of newline-delimited JSON records:
+//
+//   {"type":"header", ...}      build + dataset provenance (who/what/where)
+//   {"type":"iteration", ...}   one record per CP-ALS iteration (written by
+//                               cp_als when CpAlsOptions::reporter is set)
+//   {"type":"summary", ...}     end-of-run totals, tuner prediction error,
+//                               per-thread workspace peaks
+//
+// Every record carries "schema":"mdcp-run-report/1" so downstream tooling
+// can detect format drift. The header pins the run to a reproducible state:
+// compiler + flags + build type, OpenMP and tracing configuration, thread
+// counts, and the dataset's shape/nnz plus a content fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp::obs {
+
+/// Schema tag stamped on every report record.
+inline constexpr const char* kReportSchema = "mdcp-run-report/1";
+
+/// Compile-time / process-wide provenance, resolved once.
+struct BuildInfo {
+  std::string compiler;    ///< e.g. "gcc 13.2.0"
+  std::string flags;       ///< CMAKE_CXX_FLAGS + build-type flags
+  std::string build_type;  ///< e.g. "Release"
+  bool openmp = false;
+  int openmp_version = 0;  ///< _OPENMP date macro, 0 without OpenMP
+  bool tracing = false;    ///< MDCP_ENABLE_TRACING compiled in
+  unsigned hardware_threads = 0;
+
+  static const BuildInfo& current();
+};
+
+/// FNV-1a content hash over shape, coordinates, and values. Stable across
+/// runs for identical tensors; used to pin a report to its dataset.
+std::uint64_t tensor_fingerprint(const CooTensor& tensor);
+
+/// Appends JSONL records to a file. Records are flushed per line so a
+/// crashed run still leaves a readable prefix.
+class RunReporter {
+ public:
+  explicit RunReporter(const std::string& path);
+
+  /// False if the output file could not be opened.
+  bool ok() const noexcept { return os_.good(); }
+
+  /// Writes one pre-serialized JSON object as a line.
+  void write_line(const std::string& json);
+
+  /// Writes the provenance header: BuildInfo + `command` + dataset identity.
+  void write_header(const CooTensor& tensor, const std::string& command,
+                    int kernel_threads);
+
+ private:
+  std::ofstream os_;
+};
+
+}  // namespace mdcp::obs

@@ -1,8 +1,13 @@
 // Wall-clock timing utilities for benchmarks and CP-ALS phase dissection.
+//
+// Both timers read obs::clock_ns() — the same monotonic timebase the span
+// tracer stamps events with — so KernelStats/PhaseTimer seconds line up
+// exactly with span positions on an exported trace timeline.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
+
+#include "obs/clock.hpp"
 
 namespace mdcp {
 
@@ -11,18 +16,25 @@ class WallTimer {
  public:
   WallTimer() noexcept { reset(); }
 
-  void reset() noexcept { start_ = clock::now(); }
+  void reset() noexcept { start_ns_ = obs::clock_ns(); }
+
+  /// Timestamp of construction / the last reset(), on the tracer timebase.
+  std::uint64_t start_ns() const noexcept { return start_ns_; }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  std::uint64_t elapsed_ns() const noexcept {
+    return obs::clock_ns() - start_ns_;
+  }
 
   /// Seconds elapsed since construction or the last reset().
   double seconds() const noexcept {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(elapsed_ns()) * 1e-9;
   }
 
   double millis() const noexcept { return seconds() * 1e3; }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_ns_ = 0;
 };
 
 /// Accumulates time across repeated start/stop intervals; used to dissect a
@@ -31,19 +43,24 @@ class PhaseTimer {
  public:
   void start() noexcept { t_.reset(); }
   void stop() noexcept {
-    total_ += t_.seconds();
+    last_ = t_.seconds();
+    total_ += last_;
     ++count_;
   }
   double total_seconds() const noexcept { return total_; }
+  /// Duration of the most recent start()/stop() interval.
+  double last_seconds() const noexcept { return last_; }
   std::uint64_t count() const noexcept { return count_; }
   void clear() noexcept {
     total_ = 0;
+    last_ = 0;
     count_ = 0;
   }
 
  private:
   WallTimer t_;
   double total_ = 0;
+  double last_ = 0;
   std::uint64_t count_ = 0;
 };
 

@@ -70,6 +70,14 @@ class Workspace {
     peak_bytes_.store(allocated_bytes(), std::memory_order_relaxed);
   }
 
+  /// Capacity of thread `tid`'s slab in bytes. Slabs only grow, so this is
+  /// that thread's scratch high-water mark since construction (or the last
+  /// release()). Read outside parallel regions — slab growth is not
+  /// synchronized with this accessor.
+  std::size_t thread_slab_bytes(int tid) const noexcept {
+    return (tid >= 0 && tid < kMaxThreads) ? slabs_[tid].capacity : 0;
+  }
+
   /// Frees every slab. Outstanding spans are invalidated; must be called
   /// outside parallel regions.
   void release() noexcept;

@@ -1,5 +1,6 @@
 // mdcp command-line tool.
 //
+//   mdcp_cli info [--json]
 //   mdcp_cli stats <tensor.tns>
 //   mdcp_cli generate --kind uniform|zipf|clustered --shape I1xI2x... \
 //                     --nnz N [--seed S] [--zipf-exp E] [--clusters C] --out F
@@ -7,12 +8,14 @@
 //   mdcp_cli decompose <tensor.tns> [--rank R] [--engine NAME] [--iters K]
 //                      [--tol T] [--seed S] [--restarts N] [--nonnegative]
 //                      [--threads T] [--out-prefix P]
+//                      [--trace T.json] [--metrics M.json] [--report R.jsonl]
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +29,7 @@ using namespace mdcp;
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
                "usage:\n"
+               "  mdcp_cli info [--json]\n"
                "  mdcp_cli stats <tensor.tns>\n"
                "  mdcp_cli generate --kind uniform|zipf|clustered "
                "--shape I1xI2x... --nnz N\n"
@@ -37,7 +41,9 @@ using namespace mdcp;
                "[--iters K] [--tol T]\n"
                "                     [--seed S] [--restarts N] [--algorithm als|mu] "
                "[--nonnegative] [--threads T]\n"
-               "                     [--out-prefix P]\n"
+               "                     [--out-prefix P] [--trace T.json] "
+               "[--metrics M.json]\n"
+               "                     [--report R.jsonl]\n"
                "\nengines:\n");
   for (const auto& e : EngineRegistry::instance().entries())
     std::fprintf(stderr, "  %-12s %s\n", e.name.c_str(),
@@ -96,6 +102,44 @@ shape_t parse_shape(const std::string& s) {
   }
   if (shape.empty()) usage("empty --shape");
   return shape;
+}
+
+int cmd_info(const Args& args) {
+  const auto& b = obs::BuildInfo::current();
+  const auto& registry = EngineRegistry::instance();
+  if (args.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("compiler", b.compiler)
+        .kv("flags", b.flags)
+        .kv("build_type", b.build_type)
+        .kv("openmp", b.openmp)
+        .kv("openmp_version", b.openmp_version)
+        .kv("tracing_compiled", b.tracing)
+        .kv("hardware_threads", b.hardware_threads)
+        .kv("kernel_threads", num_threads());
+    w.key("engines").begin_array();
+    for (const auto& e : registry.entries()) {
+      w.begin_object().kv("name", e.name).kv("description", e.description)
+          .end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("compiler:         %s\n", b.compiler.c_str());
+  std::printf("build type:       %s\n", b.build_type.c_str());
+  std::printf("flags:            %s\n", b.flags.c_str());
+  std::printf("openmp:           %s (version %d)\n", b.openmp ? "yes" : "no",
+              b.openmp_version);
+  std::printf("tracing:          %s\n",
+              b.tracing ? "compiled in (enable with --trace)" : "compiled out");
+  std::printf("hardware threads: %u\n", b.hardware_threads);
+  std::printf("kernel threads:   %d\n", num_threads());
+  std::printf("engines:\n");
+  for (const auto& e : registry.entries())
+    std::printf("  %-12s %s\n", e.name.c_str(), e.description.c_str());
+  return 0;
 }
 
 int cmd_stats(const Args& args) {
@@ -183,6 +227,24 @@ int cmd_decompose(const Args& args) {
   if (args.has("threads"))
     set_num_threads(static_cast<int>(args.get_num("threads", 1)));
 
+  const std::string trace_path = args.get("trace");
+  if (!trace_path.empty()) {
+    if (!obs::BuildInfo::current().tracing)
+      std::fprintf(stderr,
+                   "warning: built with MDCP_ENABLE_TRACING=OFF; %s will "
+                   "contain no spans\n",
+                   trace_path.c_str());
+    obs::Tracer::instance().set_enabled(true);
+  }
+
+  std::unique_ptr<obs::RunReporter> reporter;
+  const std::string report_path = args.get("report");
+  if (!report_path.empty()) {
+    reporter = std::make_unique<obs::RunReporter>(report_path);
+    if (!reporter->ok()) usage(("cannot write --report " + report_path).c_str());
+    reporter->write_header(t, "decompose", num_threads());
+  }
+
   CpAlsOptions opt;
   opt.rank = static_cast<index_t>(args.get_num("rank", 16));
   opt.max_iterations = static_cast<int>(args.get_num("iters", 50));
@@ -195,6 +257,7 @@ int cmd_decompose(const Args& args) {
   opt.memory_budget_bytes = static_cast<std::size_t>(
       args.get_num("budget-mb", 0) * 1024.0 * 1024.0);
   opt.verbose = args.has("verbose");
+  opt.reporter = reporter.get();
 
   const int restarts = static_cast<int>(args.get_num("restarts", 1));
   const std::string algorithm = args.get("algorithm", "als");
@@ -214,12 +277,31 @@ int cmd_decompose(const Args& args) {
   std::printf("time: total %.3fs  mttkrp %.3fs  dense %.3fs  fit %.3fs\n",
               result.total_seconds, result.mttkrp_seconds,
               result.dense_seconds, result.fit_seconds);
+  // peak-scratch is the workspace high-water mark carried over (not
+  // subtracted) by KernelStats::since — a process-lifetime bound, so with a
+  // reused engine it may predate this run.
   std::printf("kernel: symbolic %.3fs  numeric %.3fs  flops %llu  "
-              "peak-scratch %zu B\n",
+              "peak-scratch %zu B (%.2f MiB)\n",
               result.kernel_stats.symbolic_seconds,
               result.kernel_stats.numeric_seconds,
               static_cast<unsigned long long>(result.kernel_stats.flops),
-              result.kernel_stats.peak_scratch_bytes);
+              result.kernel_stats.peak_scratch_bytes,
+              static_cast<double>(result.kernel_stats.peak_scratch_bytes) /
+                  (1024.0 * 1024.0));
+  std::printf("memory: engine peak %zu B (%.2f MiB)\n",
+              result.engine_peak_memory_bytes,
+              static_cast<double>(result.engine_peak_memory_bytes) /
+                  (1024.0 * 1024.0));
+  if (result.predicted_seconds_per_iteration > 0 && result.iterations > 0) {
+    const double measured =
+        result.mttkrp_seconds / static_cast<double>(result.iterations);
+    std::printf("tuner: predicted %.4gs/iter  measured %.4gs/iter  "
+                "(x%.2f)  predicted-mem %zu B\n",
+                result.predicted_seconds_per_iteration, measured,
+                measured > 0 ? result.predicted_seconds_per_iteration / measured
+                             : 0.0,
+                result.predicted_memory_bytes);
+  }
 
   const std::string prefix = args.get("out-prefix");
   if (!prefix.empty()) {
@@ -234,6 +316,32 @@ int cmd_decompose(const Args& args) {
     std::printf("wrote %s.lambda and %s.U0..U%u\n", prefix.c_str(),
                 prefix.c_str(), t.order() - 1);
   }
+
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    if (obs::Tracer::instance().write_chrome_json(trace_path)) {
+      std::printf("wrote trace %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::instance().retained_events()),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::instance().dropped_events()));
+    } else {
+      std::fprintf(stderr, "error: cannot write --trace %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+  }
+  const std::string metrics_path = args.get("metrics");
+  if (!metrics_path.empty()) {
+    if (obs::MetricsRegistry::instance().write_json(metrics_path)) {
+      std::printf("wrote metrics %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write --metrics %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+  }
   return 0;
 }
 
@@ -244,6 +352,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args(argc, argv, 2);
   try {
+    if (cmd == "info") return cmd_info(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "tune") return cmd_tune(args);
