@@ -13,6 +13,11 @@ namespace mdcp::bench {
 
 namespace {
 bool g_json_mode = false;
+
+std::vector<std::pair<std::string, DatasetInfo>>& dataset_registry_mut() {
+  static std::vector<std::pair<std::string, DatasetInfo>> registry;
+  return registry;
+}
 }  // namespace
 
 void init(int argc, char** argv) {
@@ -39,6 +44,29 @@ double bench_scale() {
   return 1.0;
 }
 
+void register_dataset(const std::string& name, const CooTensor& tensor) {
+  DatasetInfo info;
+  double cells = 1;
+  for (mdcp::mode_t m = 0; m < tensor.order(); ++m) {
+    info.shape.push_back(tensor.dim(m));
+    cells *= static_cast<double>(tensor.dim(m));
+  }
+  info.nnz = tensor.nnz();
+  info.density = cells > 0 ? static_cast<double>(tensor.nnz()) / cells : 0;
+  auto& registry = dataset_registry_mut();
+  for (auto& [existing, slot] : registry) {
+    if (existing == name) {
+      slot = std::move(info);
+      return;
+    }
+  }
+  registry.emplace_back(name, std::move(info));
+}
+
+const std::vector<std::pair<std::string, DatasetInfo>>& dataset_registry() {
+  return dataset_registry_mut();
+}
+
 std::vector<Dataset> standard_datasets() {
   const double s = bench_scale();
   const auto n = [&](double base) { return static_cast<nnz_t>(base * s); };
@@ -58,6 +86,7 @@ std::vector<Dataset> standard_datasets() {
                 generate_clustered({8000, 8000, 8000, 8000, 8000, 8000},
                                    n(200000), {.clusters = 128, .spread = 4.0},
                                    106)});
+  for (const auto& d : ds) register_dataset(d.name, d.tensor);
   return ds;
 }
 
@@ -123,7 +152,23 @@ void TablePrinter::print() const {
       for (const auto& c : row) w.value(c);
       w.end_array();
     }
-    w.end_array().end_object();
+    w.end_array();
+    // Provenance: enough context to compare this table against a run from
+    // another machine or scale without consulting the producing binary.
+    w.key("meta").begin_object();
+    w.kv("bench_scale", bench_scale());
+    w.kv("threads", static_cast<std::int64_t>(num_threads()));
+    w.key("datasets").begin_object();
+    for (const auto& [name, info] : dataset_registry()) {
+      w.key(name).begin_object();
+      w.key("shape").begin_array();
+      for (const index_t d : info.shape) w.value(static_cast<std::int64_t>(d));
+      w.end_array();
+      w.kv("nnz", static_cast<std::int64_t>(info.nnz));
+      w.kv("density", info.density);
+      w.end_object();
+    }
+    w.end_object().end_object().end_object();
     std::printf("%s\n", w.str().c_str());
     return;
   }

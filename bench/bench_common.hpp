@@ -45,7 +45,25 @@ void note(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 double bench_scale();
 
 /// The standard dataset battery (sizes multiplied by bench_scale()).
+/// Every returned dataset is also recorded in the provenance registry (see
+/// register_dataset), so --json tables are self-describing.
 std::vector<Dataset> standard_datasets();
+
+/// Identity of one benchmark dataset, embedded into --json table objects so
+/// BENCH_*.json files can be compared across machines and scales.
+struct DatasetInfo {
+  shape_t shape;
+  nnz_t nnz = 0;
+  double density = 0;  ///< nnz / prod(shape)
+};
+
+/// Records `tensor` under `name` in the provenance registry. Benches that
+/// build datasets outside standard_datasets() should call this so their
+/// tables stay self-describing.
+void register_dataset(const std::string& name, const CooTensor& tensor);
+
+/// Name → identity for every dataset registered so far (insertion order).
+const std::vector<std::pair<std::string, DatasetInfo>>& dataset_registry();
 
 /// One engine per benchmark column, identified by its EngineRegistry name.
 /// The column list is derived from the registry, so engines registered at

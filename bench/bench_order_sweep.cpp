@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
         std::pow(1e12, 1.0 / static_cast<double>(order)));
     shape_t shape(order, dim);
     const auto t = generate_zipf(shape, nnz, 1.1, 200 + order);
+    register_dataset("zipf" + std::to_string(order) + "d", t);
 
     std::vector<Matrix> factors;
     for (mdcp::mode_t m = 0; m < order; ++m)

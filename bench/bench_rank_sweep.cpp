@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
        generate_clustered({8000, 8000, 8000, 8000, 8000, 8000},
                           static_cast<nnz_t>(150000 * s),
                           {.clusters = 128, .spread = 4.0}, 106)});
+  for (const auto& ds : datasets) register_dataset(ds.name, ds.tensor);
 
   note("== F4: MTTKRP sweep time vs rank (1 thread) ==\n\n");
   for (const auto& ds : datasets) {

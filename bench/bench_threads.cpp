@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto tensor =
       generate_zipf({800, 40000, 200000, 60000},
                     static_cast<nnz_t>(250000 * bench_scale()), 1.1, 101);
+  register_dataset("tags4d", tensor);
   std::vector<Matrix> factors;
   for (mdcp::mode_t m = 0; m < tensor.order(); ++m)
     factors.push_back(Matrix::random_uniform(tensor.dim(m), rank, rng));

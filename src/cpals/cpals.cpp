@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
@@ -125,6 +126,15 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   obs::Counter& memo_hits = metrics.counter("dtree.memo_hits");
   obs::Counter& memo_misses = metrics.counter("dtree.memo_misses");
 
+  // Per-mode MTTKRP latency distributions (one histogram per mode, looked up
+  // once — record() inside the loop is lock-free).
+  std::vector<obs::Histogram*> mode_latency;
+  mode_latency.reserve(order);
+  for (mode_t m = 0; m < order; ++m) {
+    mode_latency.push_back(&metrics.histogram("cpals.mttkrp_seconds.mode" +
+                                              std::to_string(m)));
+  }
+
   WallTimer total_timer;
   PhaseTimer mttkrp_t, dense_t, fit_t;
   std::vector<double> iter_mode_seconds(order, 0.0);
@@ -157,6 +167,7 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
       mttkrp_t.stop();
       iter_mode_seconds[n] = mttkrp_t.last_seconds();
       result.mttkrp_mode_seconds[n] += mttkrp_t.last_seconds();
+      mode_latency[n]->record(mttkrp_t.last_seconds());
 
       MDCP_TRACE_SPAN("cpals.solve", "mode", static_cast<std::int64_t>(n));
       dense_t.start();

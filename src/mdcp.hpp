@@ -37,7 +37,9 @@
 #include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/report.hpp"
+#include "obs/roofline.hpp"
 #include "obs/trace.hpp"
 #include "tensor/compact.hpp"
 #include "tensor/coo_tensor.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -81,8 +82,11 @@ void MttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
                                        << ": compute() before prepare()");
   WallTimer timer;
   {
-    MDCP_TRACE_SPAN(trace_label_.c_str(), "mode",
-                    static_cast<std::int64_t>(mode));
+    // PerfRegion doubles as the numeric-phase trace span; with perf enabled
+    // it also attaches hardware-counter deltas to the span and to the
+    // perf.* metrics (no-ops at two relaxed loads when both are off).
+    obs::PerfRegion perf_region(trace_label_.c_str(), "mode",
+                                static_cast<std::int64_t>(mode));
     ThreadScope scope(ctx_.threads);
     do_compute(mode, factors, out);
   }

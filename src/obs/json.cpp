@@ -1,7 +1,9 @@
 #include "obs/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace mdcp::obs {
 
@@ -120,6 +122,288 @@ void JsonWriter::clear() {
   out_.clear();
   stack_.clear();
   after_key_ = false;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find(std::string_view key,
+                                 Kind kind) const noexcept {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind() == kind) ? v : nullptr;
+}
+
+void JsonValue::write(JsonWriter& w) const {
+  switch (kind_) {
+    case Kind::kNull:
+      w.null();
+      break;
+    case Kind::kBool:
+      w.value(bool_);
+      break;
+    case Kind::kNumber:
+      w.value(number_);
+      break;
+    case Kind::kString:
+      w.value(string_);
+      break;
+    case Kind::kArray:
+      w.begin_array();
+      for (const auto& item : items_) item.write(w);
+      w.end_array();
+      break;
+    case Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, v] : members_) {
+        w.key(k);
+        v.write(w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+namespace {
+
+// Recursive-descent JSON reader. Depth is bounded to keep adversarial inputs
+// (a bench binary gone wrong) from exhausting the stack.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool run(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const char* msg) {
+    if (error_ != nullptr)
+      *error_ = "offset " + std::to_string(pos_) + ": " + msg;
+    return false;
+  }
+
+  char peek() const noexcept { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool eat(char c) noexcept {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void skip_ws() noexcept {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p)
+      if (!eat(*p)) return fail("bad literal");
+    return true;
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out = JsonValue::make_object();
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' in object");
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.mutable_members().emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out = JsonValue::make_array();
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.mutable_items().push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = peek();
+            unsigned d;
+            if (h >= '0' && h <= '9') d = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') d = static_cast<unsigned>(h - 'a') + 10;
+            else if (h >= 'A' && h <= 'F') d = static_cast<unsigned>(h - 'A') + 10;
+            else return fail("bad \\u escape");
+            cp = cp * 16 + d;
+            ++pos_;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences; good enough for telemetry).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    eat('-');
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.'))
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    out = JsonValue::make_number(v);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  return JsonParser(text, error).run(out);
 }
 
 }  // namespace mdcp::obs

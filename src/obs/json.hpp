@@ -1,5 +1,5 @@
-// Minimal streaming JSON writer shared by the tracer, the metrics registry,
-// and the run reporter.
+// Minimal JSON writer + parser shared by the tracer, the metrics registry,
+// the run reporter, and the benchmark-telemetry tools.
 //
 // No external JSON dependency: the writer appends to an internal string and
 // tracks the container stack so commas and colons land in the right places.
@@ -12,11 +12,16 @@
 //   os << w.str();
 //
 // Non-finite doubles serialize as null (JSON has no NaN/Inf).
+//
+// The parser (json_parse) builds a JsonValue DOM; it exists so bench_runner
+// and bench_diff can consume the --json output of the bench binaries without
+// pulling in an external dependency. It accepts strict JSON only.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mdcp::obs {
@@ -67,5 +72,71 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool after_key_ = false;
 };
+
+/// Parsed JSON value. Objects preserve member insertion order (bench tables
+/// are diffed in emission order). All numbers are stored as double — the
+/// telemetry schemas never exceed 2^53, so this loses nothing.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  bool as_bool(bool def = false) const noexcept {
+    return kind_ == Kind::kBool ? bool_ : def;
+  }
+  double as_number(double def = 0) const noexcept {
+    return kind_ == Kind::kNumber ? number_ : def;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// find() that also requires the member to be of `kind`.
+  const JsonValue* find(std::string_view key, Kind kind) const noexcept;
+
+  /// Re-serializes this value through JsonWriter (used to embed parsed bench
+  /// tables verbatim inside an aggregate document).
+  void write(JsonWriter& w) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  std::vector<JsonValue>& mutable_items() noexcept { return items_; }
+  std::vector<std::pair<std::string, JsonValue>>& mutable_members() noexcept {
+    return members_;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON document. Returns false (and fills `error`, if
+/// given, with "offset N: message") on malformed input; `out` is then
+/// unspecified.
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
 
 }  // namespace mdcp::obs

@@ -1,10 +1,92 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "obs/json.hpp"
 
 namespace mdcp::obs {
+
+namespace {
+
+// lock-free add for std::atomic<double> (no fetch_add for FP pre-C++20 on
+// all targets; CAS loop is the portable spelling).
+void atomic_add(std::atomic<double>& a, double x) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double x) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double x) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < x &&
+         !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double x) noexcept {
+  if (!(x > 0) || !std::isfinite(x)) return x > 0 ? kBucketCount - 1 : 0;
+  // log2(x) * buckets-per-octave, rebased so kMinExponent maps to bucket 0.
+  const double pos =
+      (std::log2(x) - kMinExponent) * static_cast<double>(kBucketsPerOctave);
+  const int b = static_cast<int>(std::floor(pos));
+  return std::clamp(b, 0, kBucketCount - 1);
+}
+
+double Histogram::bucket_mid(int b) noexcept {
+  const double lo_exp =
+      kMinExponent + static_cast<double>(b) / kBucketsPerOctave;
+  // Geometric midpoint of [2^lo_exp, 2^(lo_exp + 1/4)).
+  return std::exp2(lo_exp + 0.5 / kBucketsPerOctave);
+}
+
+void Histogram::record(double x) noexcept {
+  if (std::isnan(x)) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+  buckets_[static_cast<std::size_t>(bucket_index(x))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (seen >= target && seen > 0) {
+      return std::clamp(bucket_mid(b), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
@@ -25,6 +107,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
     const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -42,6 +131,18 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
   return out;
 }
 
+std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name, h->count(), h->sum(), h->min(), h->max(), h->p50(),
+                   h->p95()});
+  }
+  return out;
+}
+
 std::string MetricsRegistry::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -50,6 +151,15 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.key("gauges").begin_object();
   for (const auto& [name, value] : gauges()) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : histograms()) {
+    w.key(h.name).begin_object().kv("count", h.count).kv("sum", h.sum);
+    // min/max are +-inf on an empty histogram; JsonWriter turns those into
+    // null, which is the wanted "no samples" spelling.
+    w.kv("min", h.min).kv("max", h.max).kv("p50", h.p50).kv("p95", h.p95);
+    w.end_object();
+  }
   w.end_object();
   w.end_object();
   return w.str();
@@ -66,6 +176,7 @@ void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& entry : counters_) entry.second->reset();
   for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
 }
 
 }  // namespace mdcp::obs

@@ -15,8 +15,10 @@
 // references.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,6 +65,56 @@ class Gauge {
   std::atomic<double> v_{0};
 };
 
+/// Positive-value distribution with fixed log-bucketing: 4 buckets per
+/// octave (bucket edges grow by 2^(1/4) ≈ 1.19, so quantile estimates carry
+/// at most ~19% relative error) over ~[6e-11, 7e8]. record() is lock-free
+/// relaxed atomics, safe from any thread including OpenMP regions; quantile
+/// readers see a consistent-enough view for telemetry (no snapshot
+/// isolation). Non-positive and non-finite values clamp into the edge
+/// buckets.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kOctaves = 64;       ///< exponents [-34, 30)
+  static constexpr int kMinExponent = -34;  ///< 2^-34 ≈ 5.8e-11
+  static constexpr int kBucketCount = kBucketsPerOctave * kOctaves;
+
+  void record(double x) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf when empty (so min()<=max() iff non-empty).
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Approximate quantile (q in [0,1]) from the bucket counts: the geometric
+  /// midpoint of the bucket holding the q-th sample, clamped to the observed
+  /// min/max. Returns 0 for an empty histogram.
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p95() const noexcept { return quantile(0.95); }
+
+  void reset() noexcept;
+
+  /// Bucket index for value x (exposed for tests).
+  static int bucket_index(double x) noexcept;
+  /// Geometric midpoint of bucket `b` (exposed for tests).
+  static double bucket_mid(int b) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
@@ -71,12 +123,20 @@ class MetricsRegistry {
   /// the process lifetime.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// Name-sorted value snapshots.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
+  /// Histogram summary snapshot (one per registered histogram).
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count;
+    double sum, min, max, p50, p95;
+  };
+  std::vector<HistogramSnapshot> histograms() const;
 
-  /// {"counters":{...},"gauges":{...}}, names sorted.
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}, names sorted.
   std::string to_json() const;
   /// Writes to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;
@@ -90,6 +150,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace mdcp::obs

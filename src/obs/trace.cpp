@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "obs/json.hpp"
+#include "obs/perf.hpp"
+#include "util/parallel.hpp"
 
 namespace mdcp::obs {
 
@@ -40,6 +42,14 @@ TraceRing& Tracer::local_ring_() {
     rings_.push_back(std::make_unique<TraceRing>(
         ring_capacity_, static_cast<std::uint32_t>(rings_.size())));
     ring = rings_.back().get();
+    // Default track label: the first thread to record is almost always the
+    // driver; OpenMP workers are labelled by their team index so Perfetto
+    // shows "omp-3" instead of a bare thread id.
+    if (ring->tid() == 0) {
+      ring->set_name("main");
+    } else if (team_size() > 1) {
+      ring->set_name("omp-" + std::to_string(thread_id()));
+    }
   }
   return *ring;
 }
@@ -53,9 +63,27 @@ void Tracer::record(const char* name, std::uint64_t ts_ns,
   ev.dur_ns = dur_ns;
   ev.arg_name = arg_name;
   ev.arg_value = arg_value;
+  record_event(ev);
+}
+
+void Tracer::record_event(TraceEvent& ev) noexcept {
   TraceRing& ring = local_ring_();
   ev.tid = ring.tid();
   ring.push(ev);
+}
+
+void Tracer::set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = std::move(name);
+}
+
+std::string Tracer::process_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return process_name_;
+}
+
+void Tracer::set_current_thread_name(std::string name) {
+  local_ring_().set_name(std::move(name));
 }
 
 void Tracer::set_ring_capacity(std::size_t events_per_thread) {
@@ -96,12 +124,14 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 std::string Tracer::to_chrome_json() const {
   std::uint64_t dropped = 0;
   std::vector<TraceEvent> events;
-  std::size_t threads = 0;
+  std::vector<std::string> thread_names;
+  std::string process_name;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads = rings_.size();
+    process_name = process_name_;
     for (const auto& ring : rings_) {
       dropped += ring->dropped();
+      thread_names.push_back(ring->name());
       auto evs = ring->events();
       events.insert(events.end(), evs.begin(), evs.end());
     }
@@ -120,10 +150,10 @@ std::string Tracer::to_chrome_json() const {
       .kv("tid", 0)
       .key("args")
       .begin_object()
-      .kv("name", "mdcp")
+      .kv("name", process_name)
       .end_object()
       .end_object();
-  for (std::size_t t = 0; t < threads; ++t) {
+  for (std::size_t t = 0; t < thread_names.size(); ++t) {
     w.begin_object()
         .kv("ph", "M")
         .kv("name", "thread_name")
@@ -131,7 +161,9 @@ std::string Tracer::to_chrome_json() const {
         .kv("tid", static_cast<std::uint64_t>(t))
         .key("args")
         .begin_object()
-        .kv("name", "mdcp-thread-" + std::to_string(t))
+        .kv("name", thread_names[t].empty()
+                        ? "mdcp-thread-" + std::to_string(t)
+                        : thread_names[t])
         .end_object()
         .end_object();
   }
@@ -144,8 +176,14 @@ std::string Tracer::to_chrome_json() const {
         .kv("dur", static_cast<double>(ev.dur_ns) * 1e-3)
         .kv("pid", 1)
         .kv("tid", static_cast<std::uint64_t>(ev.tid));
-    if (ev.arg_name != nullptr) {
-      w.key("args").begin_object().kv(ev.arg_name, ev.arg_value).end_object();
+    if (ev.arg_name != nullptr || ev.perf_mask != 0) {
+      w.key("args").begin_object();
+      if (ev.arg_name != nullptr) w.kv(ev.arg_name, ev.arg_value);
+      for (std::size_t i = 0; i < TraceEvent::kPerfSlots; ++i) {
+        if ((ev.perf_mask >> i) & 1u)
+          w.kv(perf_counter_name(static_cast<PerfCounterId>(i)), ev.perf[i]);
+      }
+      w.end_object();
     }
     w.end_object();
   }

@@ -39,8 +39,15 @@
 namespace mdcp::obs {
 
 /// One completed span. POD so ring storage is a flat array.
+///
+/// Spans recorded through a PerfRegion additionally carry hardware-counter
+/// deltas: `perf[i]` is valid iff bit i of `perf_mask` is set (slot order is
+/// obs::PerfCounterId). They are exported into the Chrome trace "args"
+/// object, so Perfetto shows cycles/misses per span.
 struct TraceEvent {
   static constexpr std::size_t kNameCapacity = 48;
+  /// Must cover obs::kPerfCounterCount (static_assert in perf.hpp).
+  static constexpr std::size_t kPerfSlots = 8;
 
   char name[kNameCapacity];     ///< NUL-terminated, truncated if longer
   std::uint64_t ts_ns;          ///< begin timestamp (obs::clock_ns)
@@ -48,6 +55,8 @@ struct TraceEvent {
   std::uint32_t tid;            ///< tracer-assigned thread index
   const char* arg_name;         ///< static-storage literal or nullptr
   std::int64_t arg_value;
+  std::uint64_t perf[kPerfSlots];  ///< counter deltas (see perf_mask)
+  std::uint16_t perf_mask;         ///< bit i set = perf[i] is valid
 };
 
 /// Fixed-capacity single-writer ring of TraceEvents. Overflow overwrites the
@@ -68,6 +77,11 @@ class TraceRing {
   std::uint64_t dropped() const noexcept { return pushed_ - kept(); }
   std::uint32_t tid() const noexcept { return tid_; }
 
+  /// Human-readable name exported as Chrome thread_name metadata (empty =
+  /// the tracer's default "mdcp-thread-N" label).
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
   /// Oldest-first copy of the retained events.
   std::vector<TraceEvent> events() const;
 
@@ -78,6 +92,7 @@ class TraceRing {
   std::vector<TraceEvent> ring_;
   std::uint64_t pushed_ = 0;
   std::uint32_t tid_ = 0;
+  std::string name_;
 };
 
 /// Process-wide tracer: owns one TraceRing per thread that ever recorded a
@@ -120,14 +135,28 @@ class Tracer {
   void record(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
               const char* arg_name, std::int64_t arg_value) noexcept;
 
+  /// Records a fully-populated event (perf payload included) into the
+  /// calling thread's ring; `ev.tid` is overwritten with the ring's id.
+  void record_event(TraceEvent& ev) noexcept;
+
+  /// Names the process track in the Chrome export (default "mdcp"). Call
+  /// from application startup, outside traced parallel regions.
+  void set_process_name(std::string name);
+  std::string process_name() const;
+
+  /// Names the calling thread's track in the Chrome export (e.g. "main",
+  /// "omp-3"). Creates the thread's ring if it does not exist yet.
+  void set_current_thread_name(std::string name);
+
  private:
   Tracer() = default;
   TraceRing& local_ring_();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards rings_ (registration + export)
+  mutable std::mutex mu_;  // guards rings_ + process_name_
   std::vector<std::unique_ptr<TraceRing>> rings_;
   std::size_t ring_capacity_ = kDefaultRingCapacity;
+  std::string process_name_ = "mdcp";
 };
 
 /// RAII span: captures the begin timestamp at construction (if the tracer is

@@ -17,7 +17,9 @@
 #include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/report.hpp"
+#include "obs/roofline.hpp"
 #include "obs/trace.hpp"
 #include "tensor/generator.hpp"
 #include "util/parallel.hpp"
@@ -382,6 +384,283 @@ TEST(Metrics, JsonExportIsValid) {
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"test.json_counter\":3"), std::string::npos) << json;
 }
+
+TEST(HistogramMetric, BucketsQuantilesAndMoments) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Log-bucketing at 4 buckets/octave bounds quantile error to ~19%.
+  EXPECT_NEAR(h.p50(), 50.0, 50.0 * 0.20);
+  EXPECT_NEAR(h.p95(), 95.0, 95.0 * 0.20);
+  // Quantiles never escape the observed range.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(HistogramMetric, ResetAndDegenerateCases) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.record(3.5);
+  EXPECT_NEAR(h.quantile(0.5), 3.5, 3.5 * 0.20);
+  h.record(0.0);  // non-positive values clamp into the bottom bucket
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramMetric, ConcurrentRecordLosesNothing) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& h = reg.histogram("test.race_histogram");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 1; i <= kPerThread; ++i)
+        h.record(static_cast<double>(i));
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kPerThread));
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(HistogramMetric, RegistryExportAndReset) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& h = reg.histogram("test.json_histogram");
+  h.reset();
+  h.record(0.001);
+  h.record(0.002);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  reg.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&reg.histogram("test.json_histogram"), &h);  // stable reference
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  obs::JsonWriter w;
+  w.begin_object().kv("s", "a\"b\\c\n").kv("n", -2.5).kv("b", true);
+  w.key("arr").begin_array().value(1).null().value("x").end_array();
+  w.key("obj").begin_object().kv("k", std::uint64_t{7}).end_object();
+  w.end_object();
+
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(w.str(), v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\\c\n");
+  EXPECT_DOUBLE_EQ(v.find("n")->as_number(), -2.5);
+  EXPECT_TRUE(v.find("b")->as_bool());
+  const obs::JsonValue* arr = v.find("arr", obs::JsonValue::Kind::kArray);
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items().size(), 3u);
+  EXPECT_TRUE(arr->items()[1].is_null());
+  EXPECT_EQ(v.find("obj")->find("k")->as_number(), 7.0);
+  // Member insertion order is preserved (bench tables diff in emission
+  // order).
+  EXPECT_EQ(v.members()[0].first, "s");
+  EXPECT_EQ(v.members().back().first, "obj");
+
+  // Re-serializing the parsed DOM yields valid JSON that parses identically.
+  obs::JsonWriter w2;
+  v.write(w2);
+  obs::JsonValue v2;
+  ASSERT_TRUE(obs::json_parse(w2.str(), v2, &err)) << err;
+  EXPECT_EQ(v2.find("s")->as_string(), "a\"b\\c\n");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  obs::JsonValue v;
+  std::string err;
+  EXPECT_FALSE(obs::json_parse("{\"a\":1,}", v, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(obs::json_parse("[1,2", v));
+  EXPECT_FALSE(obs::json_parse("", v));
+  EXPECT_FALSE(obs::json_parse("{} extra", v));
+  EXPECT_FALSE(obs::json_parse("{\"a\" 1}", v));
+  // Depth bomb must be rejected, not crash.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(obs::json_parse(deep, v));
+}
+
+// --- perf counters: the fallback path must be exercised everywhere ---
+//
+// These tests cannot assume a PMU (CI containers typically have
+// perf_event_paranoid >= 2 and no hardware events); they assert the
+// *contract*: regions always complete, masks stay consistent, and
+// unavailable counters are absent rather than zero/garbage.
+
+TEST(Perf, DisabledRegionIsANoOp) {
+  obs::Perf::instance().set_enabled(false);
+  const std::uint64_t before =
+      obs::MetricsRegistry::instance().counter("perf.task_clock_ns").value();
+  { obs::PerfRegion region("test.disabled"); }
+  EXPECT_EQ(
+      obs::MetricsRegistry::instance().counter("perf.task_clock_ns").value(),
+      before);
+}
+
+TEST(Perf, AvailabilityMaskIsConsistent) {
+  auto& perf = obs::Perf::instance();
+  perf.set_enabled(false);
+  EXPECT_EQ(perf.available_mask(), 0u);  // disabled => nothing available
+  perf.set_enabled(true);
+  const std::uint16_t mask = perf.available_mask();
+  if (!obs::Perf::counters_supported()) {
+    EXPECT_EQ(mask, 0u);
+    EXPECT_EQ(perf.process_set(), nullptr);
+  } else {
+    EXPECT_NE(mask, 0u);
+    ASSERT_NE(perf.process_set(), nullptr);
+    // Every read slot must be a subset of the open slots.
+    const obs::PerfValues v = perf.process_set()->read_values();
+    EXPECT_EQ(v.valid_mask & ~mask, 0u);
+  }
+  perf.set_enabled(false);
+}
+
+TEST(Perf, RegionCompletesWhetherOrNotCountersExist) {
+  auto& perf = obs::Perf::instance();
+  perf.set_enabled(true);
+  {
+    obs::PerfRegion region("test.enabled", "i", 1);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+  }
+  perf.set_enabled(false);
+  // If any counter exists, the region must have added to its perf.* metric;
+  // if none exists, it must have added nothing (and not crashed).
+  SUCCEED();
+}
+
+TEST(Perf, ValuesSinceClampsAndMasks) {
+  obs::PerfValues a, b;
+  a.valid_mask = 0b011;
+  a.value[0] = 100;
+  a.value[1] = 50;
+  b.valid_mask = 0b110;
+  b.value[1] = 70;
+  b.value[2] = 9;
+  const obs::PerfValues d = b.since(a);
+  EXPECT_EQ(d.valid_mask, 0b010);  // intersection of the masks
+  EXPECT_EQ(d.get(obs::PerfCounterId::kInstructions), 20u);
+  EXPECT_EQ(d.get(obs::PerfCounterId::kCycles, 777), 777u);  // invalid slot
+  // A smaller later reading (multiplex rescaling jitter) clamps to zero.
+  const obs::PerfValues r = a.since(b);
+  EXPECT_EQ(r.get(obs::PerfCounterId::kInstructions, 777), 0u);
+}
+
+TEST(Perf, AccumulatorAggregatesAcrossThreads) {
+  obs::PerfAccumulator acc;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        obs::PerfValues d;
+        d.valid_mask = 0b1;
+        d.value[0] = 2;
+        acc.add(d);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(acc.values().get(obs::PerfCounterId::kCycles),
+            static_cast<std::uint64_t>(kThreads) * 1000 * 2);
+  acc.reset();
+  EXPECT_FALSE(acc.values().any());
+}
+
+TEST(Roofline, AttributionMath) {
+  obs::RooflineCeilings c;
+  c.fma_gflops = 10.0;
+  c.triad_gbps = 20.0;
+  c.threads = 1;
+  EXPECT_DOUBLE_EQ(c.ridge_intensity(), 0.5);
+
+  obs::RooflineSample s;
+  s.seconds = 1.0;
+  s.flops = 2e9;       // 2 GFLOP/s achieved
+  s.bytes = 8e9;       // 8 GB/s achieved
+  const auto a = obs::attribute_roofline(s, c);
+  EXPECT_TRUE(a.has_bytes);
+  EXPECT_DOUBLE_EQ(a.gflops, 2.0);
+  EXPECT_DOUBLE_EQ(a.pct_compute, 20.0);
+  EXPECT_DOUBLE_EQ(a.gbps, 8.0);
+  EXPECT_DOUBLE_EQ(a.pct_bandwidth, 40.0);
+  EXPECT_DOUBLE_EQ(a.intensity, 0.25);
+  EXPECT_TRUE(a.memory_bound);  // 0.25 < ridge 0.5
+
+  s.bytes = -1;  // LLC counters unavailable
+  const auto b = obs::attribute_roofline(s, c);
+  EXPECT_FALSE(b.has_bytes);
+  EXPECT_DOUBLE_EQ(b.gflops, 2.0);
+}
+
+TEST(Roofline, CalibrationProducesPositiveCeilings) {
+  const auto c = obs::calibrate_roofline(/*seconds_budget=*/0.05);
+  EXPECT_GT(c.fma_gflops, 0.0);
+  EXPECT_GT(c.triad_gbps, 0.0);
+  EXPECT_GT(c.ridge_intensity(), 0.0);
+  EXPECT_GE(c.threads, 1);
+}
+
+#if MDCP_ENABLE_TRACING
+
+TEST_F(TracerTest, ExportCarriesProcessAndThreadNames) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_process_name("mdcp-test");
+  tracer.set_current_thread_name("unit-test-main");
+  tracer.set_enabled(true);
+  { MDCP_TRACE_SPAN("named.span"); }
+  tracer.set_enabled(false);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("mdcp-test"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("unit-test-main"), std::string::npos) << json;
+  tracer.set_process_name("mdcp");
+}
+
+TEST_F(TracerTest, PerfRegionSpansCarryCounterArgsWhenAvailable) {
+  auto& tracer = obs::Tracer::instance();
+  auto& perf = obs::Perf::instance();
+  tracer.set_enabled(true);
+  perf.set_enabled(true);
+  { obs::PerfRegion region("perf.span", "mode", 2); }
+  perf.set_enabled(false);
+  tracer.set_enabled(false);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), "perf.span");
+  EXPECT_EQ(events[0].arg_value, 2);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json.substr(0, 400);
+  if (obs::Perf::counters_supported()) {
+    // At least one counter delta must appear as a span arg.
+    EXPECT_NE(events[0].perf_mask, 0u);
+  } else {
+    EXPECT_EQ(events[0].perf_mask, 0u);
+  }
+}
+
+#endif  // MDCP_ENABLE_TRACING
 
 TEST(Report, TensorFingerprintIsContentSensitive) {
   const auto a = generate_uniform({10, 12, 14}, 200, 5);

@@ -1,0 +1,264 @@
+// bench_diff — compares two BENCH_*.json telemetry files (bench_runner
+// output) and flags per-table regressions:
+//
+//   bench_diff BASE.json NEW.json [--threshold 0.25] [--json]
+//
+// Cells are compared by their leading number + unit suffix, normalized to a
+// base unit (us/ms/s → seconds; KiB/MiB/GiB → bytes). Direction policy:
+// time and byte cells are smaller-is-better and gate the exit status; ratio
+// ("x") and bare-number cells are informational only — a speedup column's
+// direction depends on what the table divides, so gating on it would guess.
+// A cell regresses when new > base * (1 + threshold). The threshold is the
+// noise allowance, not a target: see docs/benchmarking.md for the policy.
+//
+// Exit status: 0 all gated cells within threshold, 1 at least one
+// regression, 2 structural problems (unreadable file, bench/table/row
+// present in BASE but missing in NEW).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using mdcp::obs::JsonValue;
+using mdcp::obs::JsonWriter;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: bench_diff BASE.json NEW.json [--threshold T] "
+               "[--json]\n");
+  std::exit(1);
+}
+
+struct Cell {
+  double value = 0;   ///< normalized (seconds, bytes, or raw)
+  bool gated = false; ///< time/byte cell: smaller-is-better, gates exit code
+  bool numeric = false;
+};
+
+/// Parses "123us", "4.5ms", "2.3s", "1.2KiB", "3x", "42" → normalized value.
+Cell parse_cell(const std::string& s) {
+  Cell c;
+  const char* p = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p || !std::isfinite(v)) return c;  // non-numeric cell
+  c.numeric = true;
+  const std::string unit(end);
+  if (unit == "us") {
+    c.value = v * 1e-6;
+    c.gated = true;
+  } else if (unit == "ms") {
+    c.value = v * 1e-3;
+    c.gated = true;
+  } else if (unit == "s") {
+    c.value = v;
+    c.gated = true;
+  } else if (unit == "KiB") {
+    c.value = v * 1024.0;
+    c.gated = true;
+  } else if (unit == "MiB") {
+    c.value = v * 1024.0 * 1024.0;
+    c.gated = true;
+  } else if (unit == "GiB") {
+    c.value = v * 1024.0 * 1024.0 * 1024.0;
+    c.gated = true;
+  } else {
+    // "x" ratios and bare numbers: informational, direction unknown.
+    c.value = v;
+  }
+  return c;
+}
+
+bool load_file(const char* path, JsonValue& out) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return false;
+  }
+  std::stringstream ss;
+  ss << is.rdbuf();
+  std::string err;
+  if (!mdcp::obs::json_parse(ss.str(), out, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", path, err.c_str());
+    return false;
+  }
+  return true;
+}
+
+struct TableRef {
+  std::string bench;
+  std::string table;
+  const JsonValue* headers = nullptr;
+  const JsonValue* rows = nullptr;
+};
+
+std::vector<TableRef> collect_tables(const JsonValue& doc) {
+  std::vector<TableRef> out;
+  const JsonValue* benches = doc.find("benches", JsonValue::Kind::kArray);
+  if (benches == nullptr) return out;
+  for (const JsonValue& bench : benches->items()) {
+    const JsonValue* name = bench.find("name", JsonValue::Kind::kString);
+    const JsonValue* tables = bench.find("tables", JsonValue::Kind::kArray);
+    if (name == nullptr || tables == nullptr) continue;
+    for (const JsonValue& t : tables->items()) {
+      const JsonValue* tname = t.find("table", JsonValue::Kind::kString);
+      if (tname == nullptr) continue;
+      TableRef ref;
+      ref.bench = name->as_string();
+      ref.table = tname->as_string();
+      ref.headers = t.find("headers", JsonValue::Kind::kArray);
+      ref.rows = t.find("rows", JsonValue::Kind::kArray);
+      out.push_back(ref);
+    }
+  }
+  return out;
+}
+
+const TableRef* find_table(const std::vector<TableRef>& tables,
+                           const TableRef& want) {
+  for (const auto& t : tables)
+    if (t.bench == want.bench && t.table == want.table) return &t;
+  return nullptr;
+}
+
+/// Rows are keyed by their first cell (dataset / parameter column).
+const JsonValue* find_row(const JsonValue& rows, const std::string& key) {
+  for (const JsonValue& row : rows.items()) {
+    if (row.is_array() && !row.items().empty() &&
+        row.items()[0].as_string() == key)
+      return &row;
+  }
+  return nullptr;
+}
+
+struct Finding {
+  std::string where;  ///< "bench/table/row/col"
+  double base = 0, next = 0, ratio = 0;
+  const char* status = "ok";  ///< ok | regression | improved | structural
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* new_path = nullptr;
+  double threshold = 0.25;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threshold") {
+      if (i + 1 >= argc) usage("missing value for --threshold");
+      threshold = std::atof(argv[++i]);
+    } else if (a == "--json") {
+      json = true;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      usage(("unexpected argument: " + a).c_str());
+    }
+  }
+  if (base_path == nullptr || new_path == nullptr)
+    usage("need BASE.json and NEW.json");
+  if (threshold <= 0) usage("--threshold must be positive");
+
+  JsonValue base_doc, new_doc;
+  if (!load_file(base_path, base_doc) || !load_file(new_path, new_doc))
+    return 2;
+
+  const auto base_tables = collect_tables(base_doc);
+  const auto new_tables = collect_tables(new_doc);
+
+  std::vector<Finding> findings;
+  int regressions = 0, structural = 0, compared = 0;
+  for (const auto& bt : base_tables) {
+    const TableRef* nt = find_table(new_tables, bt);
+    if (nt == nullptr || nt->rows == nullptr || bt.rows == nullptr) {
+      findings.push_back({bt.bench + "/" + bt.table, 0, 0, 0, "structural"});
+      ++structural;
+      continue;
+    }
+    for (const JsonValue& brow : bt.rows->items()) {
+      if (!brow.is_array() || brow.items().empty()) continue;
+      const std::string key = brow.items()[0].as_string();
+      const JsonValue* nrow = find_row(*nt->rows, key);
+      if (nrow == nullptr) {
+        findings.push_back(
+            {bt.bench + "/" + bt.table + "/" + key, 0, 0, 0, "structural"});
+        ++structural;
+        continue;
+      }
+      const std::size_t ncols =
+          std::min(brow.items().size(), nrow->items().size());
+      for (std::size_t c = 1; c < ncols; ++c) {
+        const Cell bc = parse_cell(brow.items()[c].as_string());
+        const Cell nc = parse_cell(nrow->items()[c].as_string());
+        if (!bc.numeric || !nc.numeric || !bc.gated || !nc.gated) continue;
+        if (bc.value <= 0) continue;
+        ++compared;
+        const double ratio = nc.value / bc.value;
+        std::string col = "col" + std::to_string(c);
+        if (bt.headers != nullptr && c < bt.headers->items().size())
+          col = bt.headers->items()[c].as_string();
+        const std::string where =
+            bt.bench + "/" + bt.table + "/" + key + "/" + col;
+        if (ratio > 1.0 + threshold) {
+          findings.push_back({where, bc.value, nc.value, ratio, "regression"});
+          ++regressions;
+        } else if (ratio < 1.0 / (1.0 + threshold)) {
+          findings.push_back({where, bc.value, nc.value, ratio, "improved"});
+        }
+      }
+    }
+  }
+
+  if (json) {
+    JsonWriter w;
+    w.begin_object()
+        .kv("schema", "mdcp-bench-diff/1")
+        .kv("base", base_path)
+        .kv("new", new_path)
+        .kv("threshold", threshold)
+        .kv("cells_compared", compared)
+        .kv("regressions", regressions)
+        .kv("structural", structural);
+    w.key("findings").begin_array();
+    for (const auto& f : findings) {
+      w.begin_object().kv("where", f.where).kv("status", f.status);
+      if (std::strcmp(f.status, "structural") != 0)
+        w.kv("base", f.base).kv("new", f.next).kv("ratio", f.ratio);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("bench_diff: %s vs %s (threshold %.0f%%)\n", base_path,
+                new_path, threshold * 100.0);
+    for (const auto& f : findings) {
+      if (std::strcmp(f.status, "structural") == 0) {
+        std::printf("  MISSING     %s\n", f.where.c_str());
+      } else {
+        std::printf("  %-11s %s  %.4g -> %.4g  (%.2fx)\n",
+                    std::strcmp(f.status, "regression") == 0 ? "REGRESSION"
+                                                             : "improved",
+                    f.where.c_str(), f.base, f.next, f.ratio);
+      }
+    }
+    std::printf("compared %d cell(s): %d regression(s), %d structural "
+                "problem(s)\n",
+                compared, regressions, structural);
+  }
+  if (structural > 0) return 2;
+  return regressions > 0 ? 1 : 0;
+}

@@ -9,8 +9,11 @@
 //                      [--tol T] [--seed S] [--restarts N] [--nonnegative]
 //                      [--threads T] [--out-prefix P]
 //                      [--trace T.json] [--metrics M.json] [--report R.jsonl]
+//   mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] [--reps N]
+//                    [--threads T] [--calib-seconds S] [--json] [--out F]
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +47,10 @@ using namespace mdcp;
                "                     [--out-prefix P] [--trace T.json] "
                "[--metrics M.json]\n"
                "                     [--report R.jsonl]\n"
+               "  mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] "
+               "[--reps N]\n"
+               "                   [--threads T] [--calib-seconds S] [--json] "
+               "[--out FILE]\n"
                "\nengines:\n");
   for (const auto& e : EngineRegistry::instance().entries())
     std::fprintf(stderr, "  %-12s %s\n", e.name.c_str(),
@@ -229,6 +236,7 @@ int cmd_decompose(const Args& args) {
 
   const std::string trace_path = args.get("trace");
   if (!trace_path.empty()) {
+    obs::Tracer::instance().set_process_name("mdcp_cli decompose");
     if (!obs::BuildInfo::current().tracing)
       std::fprintf(stderr,
                    "warning: built with MDCP_ENABLE_TRACING=OFF; %s will "
@@ -345,6 +353,254 @@ int cmd_decompose(const Args& args) {
   return 0;
 }
 
+std::string fmt_secs(double s) {
+  char buf[32];
+  if (s < 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.3gus", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof(buf), "%.4gms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.4gs", s);
+  return buf;
+}
+
+// One measured (engine, mode) pair for `profile`.
+struct ProfileRow {
+  std::string engine;
+  mdcp::mode_t mode = 0;
+  double seconds = 0;
+  double flops = 0;
+  obs::PerfValues counters;  // deltas over the timed reps
+  obs::RooflineSample sample;
+  obs::RooflineAttribution attr;
+};
+
+int cmd_profile(const Args& args) {
+  // Enable counters before any OpenMP region runs, so the inherited process
+  // set covers the worker threads the pool is about to spawn.
+  obs::Perf::instance().set_enabled(true);
+  if (args.has("threads"))
+    set_num_threads(static_cast<int>(args.get_num("threads", 1)));
+  const bool json = args.has("json");
+  const std::uint16_t avail = obs::Perf::instance().available_mask();
+
+  if (!json) {
+    std::printf("perf counters: %s (mask 0x%02x:", avail ? "on" : "unavailable",
+                avail);
+    for (std::size_t i = 0; i < obs::kPerfCounterCount; ++i)
+      if ((avail >> i) & 1u)
+        std::printf(" %s",
+                    obs::perf_counter_name(static_cast<obs::PerfCounterId>(i)));
+    std::printf(")\n");
+  }
+
+  const double calib_budget = args.get_num("calib-seconds", 0.3);
+  const obs::RooflineCeilings ceilings = obs::calibrate_roofline(calib_budget);
+  if (!json) {
+    std::printf("ceilings: %.2f GFLOP/s (fma), %.2f GB/s (triad), "
+                "ridge %.2f flop/B, %d thread(s), calibrated in %.2fs\n",
+                ceilings.fma_gflops, ceilings.triad_gbps,
+                ceilings.ridge_intensity(), ceilings.threads,
+                ceilings.calibration_seconds);
+  }
+
+  CooTensor t;
+  std::string dataset_name;
+  if (!args.positional().empty()) {
+    dataset_name = args.positional()[0];
+    t = read_tns_file(dataset_name);
+  } else {
+    dataset_name = "synthetic-zipf4d";
+    t = generate_zipf({500, 20000, 80000, 30000},
+                      static_cast<nnz_t>(args.get_num("nnz", 120000)), 1.1,
+                      static_cast<std::uint64_t>(args.get_num("seed", 7)));
+  }
+  if (!json) std::printf("dataset: %s %s\n", dataset_name.c_str(),
+                         t.summary().c_str());
+
+  const auto rank = static_cast<index_t>(args.get_num("rank", 16));
+  const int reps = std::max(1, static_cast<int>(args.get_num("reps", 3)));
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 7)));
+  std::vector<Matrix> factors;
+  for (mdcp::mode_t m = 0; m < t.order(); ++m)
+    factors.push_back(Matrix::random_uniform(t.dim(m), rank, rng));
+
+  std::vector<std::string> engines;
+  const std::string engines_arg = args.get("engines");
+  if (engines_arg.empty()) {
+    // The chain baseline and the probing selector are excluded by default:
+    // one is orders of magnitude slower, the other benchmarks itself.
+    for (const auto& name : EngineRegistry::instance().names())
+      if (name != "ttv-chain" && name != "auto+probe")
+        engines.push_back(name);
+  } else {
+    std::size_t pos = 0;
+    while (pos <= engines_arg.size()) {
+      const std::size_t next = engines_arg.find(',', pos);
+      const std::string name = engines_arg.substr(
+          pos, next == std::string::npos ? std::string::npos : next - pos);
+      if (!name.empty()) {
+        if (!EngineRegistry::instance().contains(name))
+          usage(("unknown engine: " + name).c_str());
+        engines.push_back(name);
+      }
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+    if (engines.empty()) usage("--engines lists no engine");
+  }
+
+  obs::PerfEventSet* set = obs::Perf::instance().process_set();
+  std::vector<ProfileRow> rows;
+  for (const auto& name : engines) {
+    auto engine = make_engine(name, t, rank);
+    // Warm-up sweep: first-touch of memoized structures and scratch.
+    for (mdcp::mode_t m = 0; m < t.order(); ++m) {
+      Matrix out;
+      engine->compute(m, factors, out);
+      engine->factor_updated(m);
+    }
+    for (mdcp::mode_t m = 0; m < t.order(); ++m) {
+      ProfileRow row;
+      row.engine = name;
+      row.mode = m;
+      // Counters are read directly from the process set (engine.compute()
+      // already runs inside its own PerfRegion; nesting another here would
+      // double-count into the perf.* metrics).
+      const KernelStats before_stats = engine->stats();
+      const obs::PerfValues before =
+          set != nullptr ? set->read_values() : obs::PerfValues{};
+      WallTimer timer;
+      for (int rep = 0; rep < reps; ++rep) {
+        Matrix out;
+        engine->compute(m, factors, out);
+      }
+      row.seconds = timer.seconds();
+      if (set != nullptr) row.counters = set->read_values().since(before);
+      const KernelStats delta = engine->stats().since(before_stats);
+      row.flops = static_cast<double>(delta.flops);
+
+      row.sample.seconds = row.seconds;
+      row.sample.flops = row.flops;
+      if (row.counters.valid(obs::PerfCounterId::kLlcMisses))
+        row.sample.bytes =
+            static_cast<double>(
+                row.counters.get(obs::PerfCounterId::kLlcMisses)) *
+            obs::kCacheLineBytes;
+      row.attr = attribute_roofline(row.sample, ceilings);
+      rows.push_back(std::move(row));
+      // A fresh compute of the same mode must not reuse the previous rep's
+      // memoized state for the *next* mode's timing to be comparable.
+      engine->factor_updated(m);
+    }
+  }
+
+  if (json || args.has("out")) {
+    obs::JsonWriter w;
+    w.begin_object().kv("schema", "mdcp-roofline/1");
+    const auto& b = obs::BuildInfo::current();
+    w.key("build").begin_object()
+        .kv("compiler", b.compiler)
+        .kv("build_type", b.build_type)
+        .kv("openmp", b.openmp)
+        .end_object();
+    w.key("counters").begin_object()
+        .kv("supported", obs::Perf::counters_supported())
+        .key("available").begin_array();
+    for (std::size_t i = 0; i < obs::kPerfCounterCount; ++i)
+      if ((avail >> i) & 1u)
+        w.value(obs::perf_counter_name(static_cast<obs::PerfCounterId>(i)));
+    w.end_array().end_object();
+    w.key("ceilings").begin_object()
+        .kv("fma_gflops", ceilings.fma_gflops)
+        .kv("triad_gbps", ceilings.triad_gbps)
+        .kv("ridge_intensity", ceilings.ridge_intensity())
+        .kv("threads", ceilings.threads)
+        .kv("calibration_seconds", ceilings.calibration_seconds)
+        .end_object();
+    w.key("dataset").begin_object().kv("name", dataset_name);
+    w.key("shape").begin_array();
+    for (mdcp::mode_t m = 0; m < t.order(); ++m)
+      w.value(static_cast<std::uint64_t>(t.dim(m)));
+    w.end_array().kv("nnz", static_cast<std::uint64_t>(t.nnz())).end_object();
+    w.kv("rank", static_cast<std::uint64_t>(rank))
+        .kv("reps", reps)
+        .kv("threads", num_threads());
+    w.key("engines").begin_array();
+    std::string current;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ProfileRow& row = rows[i];
+      if (row.engine != current) {
+        if (!current.empty()) w.end_array().end_object();
+        current = row.engine;
+        w.begin_object().kv("engine", row.engine).key("modes").begin_array();
+      }
+      w.begin_object()
+          .kv("mode", static_cast<std::uint64_t>(row.mode))
+          .kv("seconds", row.seconds)
+          .kv("flops", row.flops)
+          .kv("gflops", row.attr.gflops)
+          .kv("pct_compute", row.attr.pct_compute);
+      if (row.attr.has_bytes) {
+        w.kv("bytes", row.sample.bytes)
+            .kv("gbps", row.attr.gbps)
+            .kv("pct_bandwidth", row.attr.pct_bandwidth)
+            .kv("intensity", row.attr.intensity)
+            .kv("memory_bound", row.attr.memory_bound);
+      } else {
+        w.key("bytes").null().key("gbps").null().key("pct_bandwidth").null()
+            .key("intensity").null().key("memory_bound").null();
+      }
+      w.key("perf").begin_object();
+      for (std::size_t c = 0; c < obs::kPerfCounterCount; ++c) {
+        const auto id = static_cast<obs::PerfCounterId>(c);
+        w.key(obs::perf_counter_name(id));
+        if (row.counters.valid(id))
+          w.value(row.counters.get(id));
+        else
+          w.null();
+      }
+      w.end_object().end_object();
+    }
+    if (!current.empty()) w.end_array().end_object();
+    w.end_array().end_object();
+
+    const std::string out_path = args.get("out");
+    if (!out_path.empty()) {
+      std::ofstream os(out_path);
+      if (!os.good()) {
+        std::fprintf(stderr, "error: cannot write --out %s\n",
+                     out_path.c_str());
+        return 2;
+      }
+      os << w.str() << '\n';
+      if (!json) std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (json) std::printf("%s\n", w.str().c_str());
+  }
+
+  if (!json) {
+    std::printf("\n%-12s %-5s %-10s %-9s %-7s %-10s %-7s %-6s\n", "engine",
+                "mode", "time", "gflops", "%fma", "flop/B", "%bw", "bound");
+    for (const ProfileRow& row : rows) {
+      std::printf("%-12s %-5u %-10s %-9.3f %-7.2f", row.engine.c_str(),
+                  row.mode, fmt_secs(row.seconds).c_str(),
+                  row.attr.gflops, row.attr.pct_compute);
+      if (row.attr.has_bytes) {
+        std::printf(" %-10.3f %-7.2f %-6s\n", row.attr.intensity,
+                    row.attr.pct_bandwidth,
+                    row.attr.memory_bound ? "mem" : "comp");
+      } else {
+        std::printf(" %-10s %-7s %-6s\n", "n/a", "n/a", "n/a");
+      }
+    }
+    if (!avail)
+      std::printf("\n(no perf counters on this system: bandwidth-side "
+                  "columns are n/a)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -357,6 +613,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "decompose") return cmd_decompose(args);
+    if (cmd == "profile") return cmd_profile(args);
     usage(("unknown command: " + cmd).c_str());
   } catch (const mdcp::error& e) {
     std::fprintf(stderr, "mdcp error: %s\n", e.what());
