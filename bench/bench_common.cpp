@@ -8,6 +8,7 @@
 
 #include "mttkrp/registry.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace mdcp::bench {
 
@@ -158,6 +159,19 @@ void TablePrinter::print() const {
     w.key("meta").begin_object();
     w.kv("bench_scale", bench_scale());
     w.kv("threads", static_cast<std::int64_t>(num_threads()));
+    // Parallel-schedule provenance: how many kernel launches ran
+    // owner-computes vs privatized-reduction tiles up to this table (process
+    // totals from the sched.* metrics; see sched/schedule.hpp).
+    w.key("sched").begin_object();
+    w.kv("owner_launches",
+         static_cast<std::int64_t>(obs::MetricsRegistry::instance()
+                                       .counter("sched.owner_launches")
+                                       .value()));
+    w.kv("privatized_launches",
+         static_cast<std::int64_t>(obs::MetricsRegistry::instance()
+                                       .counter("sched.privatized_launches")
+                                       .value()));
+    w.end_object();
     w.key("datasets").begin_object();
     for (const auto& [name, info] : dataset_registry()) {
       w.key(name).begin_object();

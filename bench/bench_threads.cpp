@@ -5,9 +5,18 @@
 // run correctly at any thread count, but real multi-core speedups cannot be
 // observed here (documented in EXPERIMENTS.md). On real hardware the kernels
 // are atomics-free data-parallel loops and scale like SPLATT's.
+//
+// Three tables:
+//   F2            — sweep time per engine per thread count (auto schedule)
+//   F2-sched      — the schedule each engine chose per mode (tiles + reason
+//                   from KernelStats), showing the heuristic declining to
+//                   privatize at 1 thread and switching on skewed modes
+//   F2-ownerpriv  — forced owner vs forced privatized sweep times on the
+//                   Zipf-skewed tags4d dataset
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "sched/schedule.hpp"
 #include "util/parallel.hpp"
 
 int main(int argc, char** argv) {
@@ -28,18 +37,67 @@ int main(int argc, char** argv) {
   note("== F2: thread scaling on tags4d (R=%u) ==\n", rank);
   note("   [host has 1 physical core: >1 thread is oversubscribed]\n\n");
 
+  const std::vector<std::string> engines{"csf", "dtree-bdt", "coo"};
+
+  // First cells are row keys for bench_diff, so the per-(threads, engine,
+  // mode) tables fold those into one "config" column: "t4:csf:m2".
   TablePrinter table({"threads", "csf", "dtree-bdt", "coo"}, 14, "F2");
+  TablePrinter sched_table({"config", "schedule", "tiles", "reason"}, 14,
+                           "F2-sched");
   for (int threads : {1, 2, 4}) {
     set_num_threads(threads);
-    CsfMttkrpEngine csf(tensor);
-    auto bdt = make_dtree_bdt(tensor);
-    CooMttkrpEngine coo(tensor);
-    table.add_row({std::to_string(threads),
-                   fmt_seconds(time_mttkrp_sweep(csf, tensor, factors)),
-                   fmt_seconds(time_mttkrp_sweep(*bdt, tensor, factors)),
-                   fmt_seconds(time_mttkrp_sweep(coo, tensor, factors))});
+    std::vector<std::string> row{std::to_string(threads)};
+    for (const auto& name : engines) {
+      const auto engine = make_column_engine({name, name}, tensor, rank);
+      row.push_back(fmt_seconds(time_mttkrp_sweep(*engine, tensor, factors)));
+      // Chosen schedule per mode: one fresh compute per mode so last_*
+      // reflects exactly that mode's launch decision.
+      for (mdcp::mode_t m = 0; m < tensor.order(); ++m) {
+        Matrix out;
+        engine->compute(m, factors, out);
+        const KernelStats& s = engine->stats();
+        sched_table.add_row(
+            {"t" + std::to_string(threads) + ":" + name + ":m" +
+                 std::to_string(m),
+             s.last_schedule == 255
+                 ? "none"
+                 : sched::schedule_name(
+                       static_cast<sched::Schedule>(s.last_schedule)),
+             std::to_string(s.last_tiles), s.last_sched_reason});
+      }
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  note("-- schedule chosen per engine x mode (auto heuristic) --\n\n");
+  sched_table.print();
+
+  note("-- forced owner vs privatized on the skewed dataset --\n\n");
+  TablePrinter forced_table(
+      {"config", "owner", "privatized", "owner/priv"}, 14, "F2-ownerpriv");
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    for (const auto& name : engines) {
+      KernelContext owner_ctx;
+      owner_ctx.sched = ScheduleMode::kOwner;
+      const auto owner_engine =
+          make_column_engine({name, name}, tensor, rank, owner_ctx);
+      const double owner_s =
+          time_mttkrp_sweep(*owner_engine, tensor, factors);
+
+      KernelContext priv_ctx;
+      priv_ctx.sched = ScheduleMode::kPrivatized;
+      const auto priv_engine =
+          make_column_engine({name, name}, tensor, rank, priv_ctx);
+      const double priv_s = time_mttkrp_sweep(*priv_engine, tensor, factors);
+
+      forced_table.add_row({"t" + std::to_string(threads) + ":" + name,
+                            fmt_seconds(owner_s), fmt_seconds(priv_s),
+                            fmt_ratio(owner_s / priv_s)});
+    }
   }
   set_num_threads(1);
-  table.print();
+  forced_table.print();
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "csf/csf_mttkrp.hpp"
 
+#include <algorithm>
+
+#include "sched/reduce.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -40,6 +43,17 @@ void subtree(const CsfTensor& csf, const std::vector<Matrix>& factors,
   }
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
   for (index_t k = 0; k < r; ++k) acc[k] *= row[k];
+}
+
+// Maps level-`from` fiber boundaries to leaf (nonzero) positions by
+// composing the fptr levels: boundary b at level l becomes fptr(l)[b] at
+// level l+1. Turns a boundary list into a subtree-nnz prefix.
+void compose_to_leaves(const CsfTensor& csf, mode_t from,
+                       std::vector<nnz_t>& bounds) {
+  for (mode_t l = from; l + 1 < csf.order(); ++l) {
+    const auto ptr = csf.fptr(l);
+    for (auto& b : bounds) b = ptr[b];
+  }
 }
 
 }  // namespace
@@ -96,6 +110,26 @@ void CsfMttkrpEngine::do_prepare(index_t rank) {
     csfs_.push_back(std::make_unique<CsfTensor>(
         t, CsfTensor::default_order(t, m)));
   }
+  // Tile weights per mode: subtree nnz of every root fiber (prefix form)
+  // and of every level-1 fiber (the privatized schedule's split unit).
+  sched_.assign(t.order(), {});
+  for (mode_t m = 0; m < t.order() && t.order() >= 2; ++m) {
+    const CsfTensor& csf = *csfs_[m];
+    SchedInfo& si = sched_[m];
+    const nnz_t roots = csf.num_fibers(0);
+    si.root_nnz.resize(roots + 1);
+    for (nnz_t f = 0; f <= roots; ++f) si.root_nnz[f] = f;
+    compose_to_leaves(csf, 0, si.root_nnz);
+    for (nnz_t f = 0; f < roots; ++f)
+      si.max_root =
+          std::max(si.max_root, si.root_nnz[f + 1] - si.root_nnz[f]);
+    const nnz_t lvl1 = csf.num_fibers(1);
+    std::vector<nnz_t> b(lvl1 + 1);
+    for (nnz_t f = 0; f <= lvl1; ++f) b[f] = f;
+    compose_to_leaves(csf, 1, b);
+    si.lvl1_nnz.resize(lvl1);
+    for (nnz_t f = 0; f < lvl1; ++f) si.lvl1_nnz[f] = b[f + 1] - b[f];
+  }
   if (rank > 0)
     workspace().reserve(effective_threads(),
                         static_cast<std::size_t>(t.order()) * rank *
@@ -106,9 +140,95 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
                                  const std::vector<Matrix>& factors,
                                  Matrix& out) {
   MDCP_CHECK(mode < csfs_.size());
-  csf_mttkrp_root(*csfs_[mode], factors, out, ctx_.workspace);
-  count_flops(static_cast<std::uint64_t>(csfs_[mode]->nnz()) *
-              factors[0].cols() * csfs_[mode]->order());
+  const CsfTensor& csf = *csfs_[mode];
+  const index_t r = factors[0].cols();
+
+  if (csf.order() == 1) {
+    // Degenerate serial path; nothing to schedule.
+    csf_mttkrp_root(csf, factors, out, ctx_.workspace);
+    record_schedule({sched::Schedule::kOwner, 1, 0.0, 0, "degenerate-order1"});
+    count_flops(static_cast<std::uint64_t>(csf.nnz()) * r);
+    return;
+  }
+
+  MDCP_CHECK_MSG(factors.size() == csf.order(), "one factor per mode required");
+  const mode_t root_mode = csf.mode_order()[0];
+  out.resize(csf.shape()[root_mode], r, 0);
+  Workspace& ws = workspace();
+  SchedInfo& si = sched_[mode];
+  const nnz_t roots = csf.num_fibers(0);
+  const auto root_ptr = csf.fptr(0);
+  const auto root_ids = csf.fids(0);
+
+  const sched::WorkShape shape{.total = csf.nnz(),
+                               .max_unit = si.max_root,
+                               .units = roots,
+                               .out_rows = csf.shape()[root_mode],
+                               .rank = r,
+                               .shared_writes = true};
+  const sched::Decision d =
+      sched::choose_schedule(shape, effective_threads(), schedule_mode());
+  record_schedule(d);
+
+  // Accumulates level-1 children [root_ptr[f]+begin, root_ptr[f]+end) of
+  // root fiber f into `dst` row root_ids[f].
+  const auto accumulate = [&](nnz_t f, nnz_t begin, nnz_t end,
+                              const Scratch& s, real_t* dst) {
+    real_t* drow = dst + static_cast<nnz_t>(root_ids[f]) * r;
+    for (nnz_t c = root_ptr[f] + begin; c < root_ptr[f] + end; ++c) {
+      subtree(csf, factors, 1, c, r, s);
+      const auto child = s.acc(1);
+      for (index_t k = 0; k < r; ++k) drow[k] += child[k];
+    }
+  };
+  const auto root_children = [&](nnz_t f) {
+    return root_ptr[f + 1] - root_ptr[f];
+  };
+  const std::size_t acc_elems = static_cast<std::size_t>(csf.order()) * r;
+
+  if (d.schedule == sched::Schedule::kOwner) {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        si.owner, d.tiles,
+        [&](int n) { return sched::tile_groups(si.root_nnz, n); });
+#pragma omp parallel
+    {
+      const Scratch s{ws.thread_scratch<real_t>(acc_elems), r};
+#pragma omp for schedule(dynamic, 1)
+      for (int tile = 0; tile < tp.tiles(); ++tile) {
+        sched::for_each_group_range(
+            tp, tile, root_children, [&](nnz_t f, nnz_t begin, nnz_t end) {
+              accumulate(f, begin, end, s, out.data());
+            });
+      }
+    }
+  } else {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        si.split, d.tiles, [&](int n) {
+          return sched::tile_items_split(si.lvl1_nnz, root_ptr, n);
+        });
+    const nnz_t out_elems = static_cast<nnz_t>(csf.shape()[root_mode]) * r;
+    sched::PartialSet parts;
+#pragma omp parallel
+    {
+      const int team = team_size();
+      const int tid = thread_id();
+      const auto slab = ws.thread_scratch<real_t>(out_elems + acc_elems);
+      real_t* partial = slab.data();
+      const Scratch s{slab.subspan(out_elems, acc_elems), r};
+      std::fill(partial, partial + out_elems, real_t{0});
+      parts.publish(tid, partial);
+      for (int tile = tid; tile < tp.tiles(); tile += team) {
+        sched::for_each_group_range(
+            tp, tile, root_children, [&](nnz_t f, nnz_t begin, nnz_t end) {
+              accumulate(f, begin, end, s, partial);
+            });
+      }
+#pragma omp barrier
+      parts.combine_into(out.data(), team, chunk_range(out_elems, team, tid));
+    }
+    count_flops(sched::reduction_flops(d.tiles, csf.shape()[root_mode], r));
+  }
+  count_flops(static_cast<std::uint64_t>(csf.nnz()) * r * csf.order());
 }
 
 std::size_t CsfMttkrpEngine::memory_bytes() const {

@@ -13,12 +13,19 @@
 // traversal accumulators (one length-R vector per CSF level) come from the
 // workspace, hoisted out of the per-root recursion and reused across
 // compute() calls.
+// Parallelization: the engine runs the schedule picked by
+// sched::choose_schedule per mode — owner-computes tiles of whole root
+// fibers weighted by subtree nnz (race-free, bitwise deterministic across
+// thread counts) or, when one hub root fiber dominates, tiles cutting
+// between its level-1 child subtrees with per-thread partial outputs
+// combined in fixed thread order.
 #pragma once
 
 #include <memory>
 
 #include "csf/csf_tensor.hpp"
 #include "mttkrp/engine.hpp"
+#include "sched/partition.hpp"
 
 namespace mdcp {
 
@@ -46,7 +53,16 @@ class CsfMttkrpEngine final : public MttkrpEngine {
                   Matrix& out) override;
 
  private:
+  struct SchedInfo {
+    std::vector<nnz_t> root_nnz;  ///< subtree-nnz prefix per root fiber
+    std::vector<nnz_t> lvl1_nnz;  ///< subtree nnz per level-1 fiber
+    nnz_t max_root = 0;           ///< heaviest root subtree (skew input)
+    sched::CachedPlan owner;      ///< whole-root-fiber tiles
+    sched::CachedPlan split;      ///< level-1-subtree-granular tiles
+  };
+
   std::vector<std::unique_ptr<CsfTensor>> csfs_;
+  std::vector<SchedInfo> sched_;  // one per mode
 };
 
 }  // namespace mdcp

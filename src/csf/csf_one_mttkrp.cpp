@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sched/reduce.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -140,7 +141,22 @@ void CsfOneMttkrpEngine::do_prepare(index_t rank) {
       }
     }
     plan.row_start.push_back(plan.perm.size());
+    for (std::size_t g = 0; g + 1 < plan.row_start.size(); ++g)
+      plan.max_group =
+          std::max(plan.max_group, plan.row_start[g + 1] - plan.row_start[g]);
   }
+
+  // Phase-1 tile weights: subtree nnz per root fiber, via boundary
+  // composition through the fptr levels.
+  const nnz_t roots = csf_->num_fibers(0);
+  root_nnz_.resize(roots + 1);
+  for (nnz_t f = 0; f <= roots; ++f) root_nnz_[f] = f;
+  for (mode_t l = 0; l + 1 < csf_->order(); ++l) {
+    const auto ptr = csf_->fptr(l);
+    for (auto& b : root_nnz_) b = ptr[b];
+  }
+  root_owner_ = {};
+
   if (rank > 0)
     workspace().reserve(effective_threads(),
                         Scratch::reals(csf_->order(), rank) * sizeof(real_t));
@@ -157,34 +173,102 @@ void CsfOneMttkrpEngine::do_compute(mode_t mode,
   out.resize(csf.shape()[mode], r, 0);
   Workspace& ws = workspace();
 
-  // Phase 1: per-fiber contributions (parallel over root fibers; each
-  // out_level fiber belongs to exactly one root subtree — race-free).
+  // Phase 1: per-fiber contributions over nnz-weighted tiles of whole root
+  // subtrees (each out_level fiber belongs to exactly one root subtree, so
+  // tiles never share a fiber_buf row — no privatized variant needed).
   fiber_buf_.resize(static_cast<index_t>(csf.num_fibers(out_level)), r, 0);
   const nnz_t num_roots = csf.num_fibers(0);
+  const sched::WorkShape phase1{.total = csf.nnz(),
+                                .max_unit = 0,
+                                .units = num_roots,
+                                .out_rows = csf.shape()[mode],
+                                .rank = r,
+                                .shared_writes = false};
+  const sched::Decision d1 =
+      sched::choose_schedule(phase1, effective_threads(), schedule_mode());
+  record_schedule(d1);
+  const sched::TilePlan& tp1 = sched::cached_tiles(
+      root_owner_, d1.tiles,
+      [&](int n) { return sched::tile_groups(root_nnz_, n); });
 #pragma omp parallel
   {
     const Scratch s{ws.thread_scratch<real_t>(Scratch::reals(csf.order(), r)),
                     csf.order(), r};
-#pragma omp for schedule(dynamic, 8)
-    for (std::int64_t f = 0; f < static_cast<std::int64_t>(num_roots); ++f) {
-      const auto pre0 = s.pre(0);
-      std::fill(pre0.begin(), pre0.end(), real_t{1});
-      descend(csf, factors, 0, static_cast<nnz_t>(f), out_level, r, s,
-              fiber_buf_);
+#pragma omp for schedule(dynamic, 1)
+    for (int tile = 0; tile < tp1.tiles(); ++tile) {
+      sched::for_each_group_range(
+          tp1, tile, [](nnz_t) { return nnz_t{1}; },
+          [&](nnz_t f, nnz_t, nnz_t) {
+            const auto pre0 = s.pre(0);
+            std::fill(pre0.begin(), pre0.end(), real_t{1});
+            descend(csf, factors, 0, f, out_level, r, s, fiber_buf_);
+          });
     }
   }
 
-  // Phase 2: deterministic scatter, parallel over output rows.
-  const ScatterPlan& plan = plans_[out_level];
-#pragma omp parallel for schedule(dynamic, 64)
-  for (std::int64_t g = 0; g < static_cast<std::int64_t>(plan.rows.size());
-       ++g) {
-    auto orow = out.row(plan.rows[static_cast<std::size_t>(g)]);
-    for (nnz_t p = plan.row_start[static_cast<std::size_t>(g)];
-         p < plan.row_start[static_cast<std::size_t>(g) + 1]; ++p) {
+  // Phase 2: fiber→row scatter. Owner-computes over whole row groups, or —
+  // when one hub row collects most fibers — fiber-granular tiles with
+  // per-thread partial outputs combined in fixed thread order.
+  ScatterPlan& plan = plans_[out_level];
+  const sched::WorkShape phase2{.total = csf.num_fibers(out_level),
+                                .max_unit = plan.max_group,
+                                .units = plan.rows.size(),
+                                .out_rows = csf.shape()[mode],
+                                .rank = r,
+                                .shared_writes = true};
+  const sched::Decision d2 =
+      sched::choose_schedule(phase2, effective_threads(), schedule_mode());
+  record_schedule(d2);
+
+  // Adds fibers perm[row_start[g]+begin, row_start[g]+end) of row group g
+  // into `dst` row rows[g].
+  const auto scatter = [&](nnz_t g, nnz_t begin, nnz_t end, real_t* dst) {
+    real_t* drow = dst + static_cast<nnz_t>(plan.rows[g]) * r;
+    for (nnz_t p = plan.row_start[g] + begin; p < plan.row_start[g] + end;
+         ++p) {
       const auto frow = fiber_buf_.row(static_cast<index_t>(plan.perm[p]));
-      for (index_t k = 0; k < r; ++k) orow[k] += frow[k];
+      for (index_t k = 0; k < r; ++k) drow[k] += frow[k];
     }
+  };
+  const auto group_size = [&](nnz_t g) {
+    return plan.row_start[g + 1] - plan.row_start[g];
+  };
+
+  if (d2.schedule == sched::Schedule::kOwner) {
+    const sched::TilePlan& tp2 = sched::cached_tiles(
+        plan.owner, d2.tiles,
+        [&](int n) { return sched::tile_groups(plan.row_start, n); });
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int tile = 0; tile < tp2.tiles(); ++tile) {
+      sched::for_each_group_range(tp2, tile, group_size,
+                                  [&](nnz_t g, nnz_t begin, nnz_t end) {
+                                    scatter(g, begin, end, out.data());
+                                  });
+    }
+  } else {
+    const sched::TilePlan& tp2 = sched::cached_tiles(
+        plan.split, d2.tiles,
+        [&](int n) { return sched::tile_groups_split(plan.row_start, n); });
+    const nnz_t out_elems = static_cast<nnz_t>(csf.shape()[mode]) * r;
+    sched::PartialSet parts;
+#pragma omp parallel
+    {
+      const int team = team_size();
+      const int tid = thread_id();
+      const auto slab = ws.thread_scratch<real_t>(out_elems);
+      real_t* partial = slab.data();
+      std::fill(partial, partial + out_elems, real_t{0});
+      parts.publish(tid, partial);
+      for (int tile = tid; tile < tp2.tiles(); tile += team) {
+        sched::for_each_group_range(tp2, tile, group_size,
+                                    [&](nnz_t g, nnz_t begin, nnz_t end) {
+                                      scatter(g, begin, end, partial);
+                                    });
+      }
+#pragma omp barrier
+      parts.combine_into(out.data(), team, chunk_range(out_elems, team, tid));
+    }
+    count_flops(sched::reduction_flops(d2.tiles, csf.shape()[mode], r));
   }
   count_flops(static_cast<std::uint64_t>(csf.nnz()) * r * csf.order());
 }

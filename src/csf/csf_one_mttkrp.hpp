@@ -8,11 +8,15 @@
 // (ℓ = 0 degenerates to the root kernel, ℓ = N−1 to the leaf kernel.)
 //
 // Races on output rows (several fibers can share one fid) are avoided with a
-// two-phase plan: phase 1 computes per-fiber contributions in parallel
-// (race-free — each fiber is written by exactly one root subtree); phase 2
-// scatters fibers into rows via a precomputed fiber→row grouping, parallel
-// over rows and bitwise deterministic for any thread count. Per-thread
-// suffix accumulators and prefix buffers come from the workspace.
+// two-phase plan: phase 1 computes per-fiber contributions in parallel over
+// nnz-weighted tiles of whole root subtrees (race-free — each fiber is
+// written by exactly one root subtree); phase 2 scatters fibers into rows
+// via a precomputed fiber→row grouping, with the schedule picked by
+// sched::choose_schedule — owner-computes over whole row groups (bitwise
+// deterministic for any thread count) or, when one hub row dominates,
+// fiber-granular tiles with per-thread partial outputs combined in fixed
+// thread order. Per-thread suffix accumulators, prefix buffers, and any
+// partial slab come from the workspace.
 #pragma once
 
 #include <memory>
@@ -20,6 +24,7 @@
 
 #include "csf/csf_tensor.hpp"
 #include "mttkrp/engine.hpp"
+#include "sched/partition.hpp"
 
 namespace mdcp {
 
@@ -51,12 +56,17 @@ class CsfOneMttkrpEngine final : public MttkrpEngine {
     std::vector<nnz_t> perm;
     std::vector<index_t> rows;
     std::vector<nnz_t> row_start;
+    nnz_t max_group = 0;        ///< most fibers sharing one row (skew input)
+    sched::CachedPlan owner;    ///< whole-row-group tiles
+    sched::CachedPlan split;    ///< fiber-granular tiles (privatized)
   };
 
   std::vector<mode_t> requested_order_;   // prepare() input (may be empty)
   std::unique_ptr<CsfTensor> csf_;
   std::vector<mode_t> level_of_mode_;     // mode -> CSF level
   std::vector<ScatterPlan> plans_;        // one per CSF level
+  std::vector<nnz_t> root_nnz_;           // subtree-nnz prefix per root fiber
+  sched::CachedPlan root_owner_;          // phase-1 whole-root tiles
   Matrix fiber_buf_;                      // per-fiber contribution scratch
 };
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "sched/partition.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "util/types.hpp"
 
@@ -74,6 +75,11 @@ class DimensionTree {
     // --- numeric state ---
     Matrix values;  ///< tuples × R when materialized
     bool valid = false;
+
+    // --- TTMV tile plans (symbolic, cached against the thread budget) ---
+    nnz_t max_red = 0;              ///< heaviest reduction set (skew input)
+    sched::CachedPlan owner_tiles;  ///< whole-tuple tiles
+    sched::CachedPlan split_tiles;  ///< reduction-entry-granular tiles
 
     bool is_root() const noexcept { return parent < 0; }
     bool is_leaf() const noexcept { return children.empty(); }

@@ -44,11 +44,13 @@ void DTreeMttkrpEngine::do_compute(mode_t mode,
   }
 
   const int leaf = tree.leaf_for_mode(mode);
-  count_flops(compute_node_values(tree, leaf, factors, r, workspace()));
+  TtmvSched ts{.threads = effective_threads(), .mode = schedule_mode()};
+  count_flops(compute_node_values(tree, leaf, factors, r, workspace(), &ts));
   peak_bytes_ = std::max(peak_bytes_, memory_bytes());
 
   // Scatter the leaf tuples into the dense output (rows of unused indices
-  // stay zero, matching the MTTKRP of empty slices).
+  // stay zero, matching the MTTKRP of empty slices). Pure copy with one
+  // writer per row — always owner-computes, not counted as a launch.
   const auto& ln = tree.node(leaf);
   out.resize(tree.tensor().dim(mode), r, 0);
   const auto rows = tree.node_mode_index(leaf, mode);
@@ -57,6 +59,19 @@ void DTreeMttkrpEngine::do_compute(mode_t mode,
     auto dst = out.row(rows[t]);
     std::copy(src.begin(), src.end(), dst.begin());
   });
+
+  if (ts.owner_launches + ts.privatized_launches > 0) {
+    // The decision of the leaf's own TTMV (the last launch in the chain)
+    // defines last_schedule; intermediate node launches are counted too.
+    record_schedule(ts.last, ts.owner_launches, ts.privatized_launches);
+  } else {
+    // Fully memoized compute (every node served from cache): report the
+    // no-op so benches still see a schedule column.
+    record_schedule({sched::Schedule::kOwner, 1, 0.0, 0, "memoized"}, 1, 0);
+  }
+  if (ts.privatized_launches > 0)
+    count_flops(sched::reduction_flops(ts.last.tiles,
+                                       static_cast<index_t>(ln.tuples), r));
 }
 
 void DTreeMttkrpEngine::factor_updated(mode_t mode) {

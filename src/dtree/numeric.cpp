@@ -1,10 +1,12 @@
 #include "dtree/numeric.hpp"
 
+#include <algorithm>
 #include <array>
 #include <span>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/reduce.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/types.hpp"
@@ -37,7 +39,8 @@ obs::Counter& invalidated_metric() {
 // Returns the multiply/add count of the pass.
 std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
                                const std::vector<Matrix>& factors,
-                               index_t rank, Workspace& ws) {
+                               index_t rank, Workspace& ws,
+                               TtmvSched* ts) {
   auto& n = tree.node(which);
   const auto& p = tree.node(n.parent);
   const bool parent_is_root = p.is_root();
@@ -58,28 +61,87 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
   const std::span<const real_t> root_vals =
       parent_is_root ? tree.tensor().values() : std::span<const real_t>{};
 
-#pragma omp parallel
-  {
-    const auto tmp = ws.thread_scratch<real_t>(rank);
-#pragma omp for schedule(dynamic, 64)
-    for (std::int64_t t = 0; t < static_cast<std::int64_t>(n.tuples); ++t) {
-      auto out = n.values.row(static_cast<index_t>(t));
-      for (nnz_t jp = n.red_ptr[static_cast<nnz_t>(t)];
-           jp < n.red_ptr[static_cast<nnz_t>(t) + 1]; ++jp) {
-        const nnz_t j = n.red_ids[jp];
-        if (parent_is_root) {
-          const real_t v = root_vals[j];
-          for (index_t k = 0; k < rank; ++k) tmp[k] = v;
-        } else {
-          const auto prow = p.values.row(static_cast<index_t>(j));
-          for (index_t k = 0; k < rank; ++k) tmp[k] = prow[k];
-        }
-        for (std::size_t d = 0; d < nd; ++d) {
-          const auto frow = dfac[d]->row(didx[d][j]);
-          for (index_t k = 0; k < rank; ++k) tmp[k] *= frow[k];
-        }
-        for (index_t k = 0; k < rank; ++k) out[k] += tmp[k];
+  const int threads = ts != nullptr ? ts->threads : num_threads();
+  const ScheduleMode smode =
+      ts != nullptr ? ts->mode : ScheduleMode::kAuto;
+  const sched::WorkShape shape{.total = n.red_ids.size(),
+                               .max_unit = n.max_red,
+                               .units = n.tuples,
+                               .out_rows = static_cast<index_t>(n.tuples),
+                               .rank = rank,
+                               .shared_writes = true};
+  const sched::Decision d = sched::choose_schedule(shape, threads, smode);
+  if (ts != nullptr) {
+    (d.schedule == sched::Schedule::kPrivatized ? ts->privatized_launches
+                                                : ts->owner_launches) += 1;
+    ts->last = d;
+  }
+
+  // Accumulates reduction entries [red_ptr[t]+begin, red_ptr[t]+end) of
+  // tuple t into `dst` row t.
+  const auto accumulate = [&](nnz_t t, nnz_t begin, nnz_t end, real_t* tmp,
+                              real_t* dst) {
+    real_t* out = dst + t * rank;
+    for (nnz_t jp = n.red_ptr[t] + begin; jp < n.red_ptr[t] + end; ++jp) {
+      const nnz_t j = n.red_ids[jp];
+      if (parent_is_root) {
+        const real_t v = root_vals[j];
+        for (index_t k = 0; k < rank; ++k) tmp[k] = v;
+      } else {
+        const auto prow = p.values.row(static_cast<index_t>(j));
+        for (index_t k = 0; k < rank; ++k) tmp[k] = prow[k];
       }
+      for (std::size_t dd = 0; dd < nd; ++dd) {
+        const auto frow = dfac[dd]->row(didx[dd][j]);
+        for (index_t k = 0; k < rank; ++k) tmp[k] *= frow[k];
+      }
+      for (index_t k = 0; k < rank; ++k) out[k] += tmp[k];
+    }
+  };
+  const auto red_size = [&](nnz_t t) {
+    return n.red_ptr[t + 1] - n.red_ptr[t];
+  };
+
+  if (d.schedule == sched::Schedule::kOwner) {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        n.owner_tiles, d.tiles,
+        [&](int nt) { return sched::tile_groups(n.red_ptr, nt); });
+#pragma omp parallel
+    {
+      const auto tmp = ws.thread_scratch<real_t>(rank);
+#pragma omp for schedule(dynamic, 1)
+      for (int tile = 0; tile < tp.tiles(); ++tile) {
+        sched::for_each_group_range(tp, tile, red_size,
+                                    [&](nnz_t t, nnz_t begin, nnz_t end) {
+                                      accumulate(t, begin, end, tmp.data(),
+                                                 n.values.data());
+                                    });
+      }
+    }
+  } else {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        n.split_tiles, d.tiles,
+        [&](int nt) { return sched::tile_groups_split(n.red_ptr, nt); });
+    const nnz_t out_elems = n.tuples * rank;
+    sched::PartialSet parts;
+#pragma omp parallel
+    {
+      const int team = team_size();
+      const int tid = thread_id();
+      const auto slab = ws.thread_scratch<real_t>(out_elems + rank);
+      real_t* partial = slab.data();
+      real_t* tmp = partial + out_elems;
+      std::fill(partial, partial + out_elems, real_t{0});
+      parts.publish(tid, partial);
+      for (int tile = tid; tile < tp.tiles(); tile += team) {
+        sched::for_each_group_range(tp, tile, red_size,
+                                    [&](nnz_t t, nnz_t begin, nnz_t end) {
+                                      accumulate(t, begin, end, tmp, partial);
+                                    });
+      }
+#pragma omp barrier
+      parts.combine_into(n.values.data(), team,
+                         chunk_range(out_elems, team, tid));
     }
   }
   n.valid = true;
@@ -90,7 +152,8 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
 
 std::uint64_t compute_node_values(DimensionTree& tree, int which,
                                   const std::vector<Matrix>& factors,
-                                  index_t rank, Workspace& ws) {
+                                  index_t rank, Workspace& ws,
+                                  TtmvSched* ts) {
   auto& n = tree.node(which);
   if (n.is_root()) return 0;  // the root aliases the input tensor
   if (n.valid && n.values.cols() == rank) {
@@ -100,12 +163,12 @@ std::uint64_t compute_node_values(DimensionTree& tree, int which,
   memo_misses_metric().add();
 
   const std::uint64_t above =
-      compute_node_values(tree, n.parent, factors, rank, ws);
+      compute_node_values(tree, n.parent, factors, rank, ws, ts);
   std::uint64_t own;
   {
     MDCP_TRACE_SPAN("dtree.node_eval", "node",
                     static_cast<std::int64_t>(which));
-    own = ttmv_from_parent(tree, which, factors, rank, ws);
+    own = ttmv_from_parent(tree, which, factors, rank, ws, ts);
   }
   return above + own;
 }

@@ -53,6 +53,11 @@ void build_symbolic(DimensionTree& tree) {
     n.red_ptr.push_back(pcount);
     n.tuples = n.red_ptr.size() - 1;
     MDCP_CHECK(n.tuples <= pcount);
+    n.max_red = 0;
+    for (nnz_t t = 0; t < n.tuples; ++t)
+      n.max_red = std::max(n.max_red, n.red_ptr[t + 1] - n.red_ptr[t]);
+    n.owner_tiles = {};
+    n.split_tiles = {};
   }
 }
 

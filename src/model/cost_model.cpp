@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "dtree/dtree_engine.hpp"
+#include "sched/schedule.hpp"
 #include "tensor/generator.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -55,6 +56,25 @@ StrategyPrediction predict_strategy(const CooTensor& tensor,
           pred.nodes.push_back(nc);
           pred.flops_per_iteration += nc.flops;
           pred.bytes_per_iteration += nc.bytes;
+
+          // Privatized-reduction envelope: a launch above the work gate may
+          // run split tiles at `threads` partials, adding a combine pass
+          // (threads × tuples × R adds) and a transient partial-slab
+          // footprint. The model lacks per-launch skew, so this is the
+          // worst case the scheduler can choose, not a certainty.
+          if (params.threads > 1 && parent_tuples >= sched::kMinPrivatizeWork) {
+            const double red = static_cast<double>(params.threads) *
+                               static_cast<double>(tuples) * r;
+            pred.reduction_flops_per_iteration += red;
+            pred.flops_per_iteration += red;
+            pred.bytes_per_iteration +=
+                static_cast<double>(params.threads) *
+                static_cast<double>(tuples) * r * sizeof(real_t);
+            pred.privatized_partial_bytes = std::max(
+                pred.privatized_partial_bytes,
+                sched::privatized_partial_bytes(
+                    params.threads, static_cast<index_t>(tuples), rank));
+          }
 
           // Persistent symbolic structures of this node.
           pred.symbolic_bytes +=

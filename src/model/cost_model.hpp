@@ -32,6 +32,12 @@ namespace mdcp {
 struct CostModelParams {
   double seconds_per_flop = 1.5e-9;  ///< effective scalar FMA cost
   double seconds_per_byte = 1.5e-10; ///< effective memory-traffic cost
+  /// Thread budget the kernels will run under. Above 1, the model charges
+  /// each TTMV pass that clears the privatization work gate
+  /// (sched::kMinPrivatizeWork) with the privatized-reduction worst case:
+  /// threads × tuples × R combine flops and a threads × tuples × R × 8-byte
+  /// partial-slab footprint. 1 (the default) reproduces the serial model.
+  int threads = 1;
 };
 
 struct NodeCostEstimate {
@@ -49,10 +55,16 @@ struct StrategyPrediction {
   double seconds_per_iteration = 0;
   std::size_t symbolic_bytes = 0;    ///< persistent index + reduction memory
   std::size_t peak_value_bytes = 0;  ///< live value matrices (schedule bound)
+  /// Combine-pass flops charged for launches that may run the privatized
+  /// schedule (already included in flops_per_iteration). 0 at threads = 1.
+  double reduction_flops_per_iteration = 0;
+  /// Peak per-thread partial-output slab footprint across launches (one
+  /// launch's slabs live at a time). 0 at threads = 1.
+  std::size_t privatized_partial_bytes = 0;
   std::vector<NodeCostEstimate> nodes;
 
   std::size_t total_memory_bytes() const {
-    return symbolic_bytes + peak_value_bytes;
+    return symbolic_bytes + peak_value_bytes + privatized_partial_bytes;
   }
 };
 

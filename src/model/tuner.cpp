@@ -133,6 +133,9 @@ void AutoEngine::do_prepare(index_t rank) {
                  "the auto engine needs a rank hint: prepare(tensor, rank)");
   KernelContext inner_ctx = context();
   inner_ctx.stats = nullptr;  // outer NVI already records totals
+  // Predict under the thread budget the kernels will actually run with, so
+  // the privatization memory/flop terms participate in strategy ranking.
+  if (params_.threads <= 1) params_.threads = effective_threads();
   report_ = probed_ ? select_strategy_probed(tensor(), rank,
                                              memory_budget_bytes_, params_,
                                              shortlist_, inner_ctx)
@@ -148,9 +151,20 @@ void AutoEngine::do_prepare(index_t rank) {
 
 void AutoEngine::do_compute(mode_t mode, const std::vector<Matrix>& factors,
                             Matrix& out) {
-  const std::uint64_t before = inner_->stats().flops;
+  const KernelStats before = inner_->stats();
+  inner_->context().sched = context().sched;  // forward late overrides
   inner_->compute(mode, factors, out);
-  count_flops(inner_->stats().flops - before);
+  const KernelStats& after = inner_->stats();
+  count_flops(after.flops - before.flops);
+  if (after.last_schedule != 255) {
+    // Mirror the inner engine's schedule telemetry into this engine's
+    // KernelStats; the inner launches already bumped the global metrics.
+    record_schedule({static_cast<sched::Schedule>(after.last_schedule),
+                     after.last_tiles, 0.0, 0, after.last_sched_reason},
+                    after.owner_launches - before.owner_launches,
+                    after.privatized_launches - before.privatized_launches,
+                    /*bump_metrics=*/false);
+  }
 }
 
 void AutoEngine::factor_updated(mode_t mode) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sched/reduce.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -94,6 +95,20 @@ void BlockedCooEngine::do_prepare(index_t rank) {
       }
     }
     plan.group_start.push_back(blocks);
+    // nnz weights for the tile partitioner: per block (in perm order) and
+    // cumulative per base group.
+    plan.block_nnz.resize(blocks);
+    plan.group_nnz.assign(1, 0);
+    for (std::size_t g = 0; g + 1 < plan.group_start.size(); ++g) {
+      nnz_t w = 0;
+      for (nnz_t p = plan.group_start[g]; p < plan.group_start[g + 1]; ++p) {
+        plan.block_nnz[p] =
+            block_ptr_[plan.perm[p] + 1] - block_ptr_[plan.perm[p]];
+        w += plan.block_nnz[p];
+      }
+      plan.group_nnz.push_back(plan.group_nnz.back() + w);
+      plan.max_group = std::max(plan.max_group, w);
+    }
   }
   if (rank > 0)
     workspace().reserve(effective_threads(), rank * sizeof(real_t));
@@ -111,32 +126,88 @@ void BlockedCooEngine::do_compute(mode_t mode,
   }
   out.resize(shape_[mode], r, 0);
 
-  const ModePlan& plan = plans_[mode];
+  ModePlan& plan = plans_[mode];
   Workspace& ws = workspace();
-#pragma omp parallel
-  {
-    const auto tmp = ws.thread_scratch<real_t>(r);
-#pragma omp for schedule(dynamic, 4)
-    for (std::int64_t g = 0;
-         g < static_cast<std::int64_t>(plan.bases.size()); ++g) {
-      // This group owns output rows [base, base + 2^bits): race-free.
-      for (nnz_t bp = plan.group_start[static_cast<std::size_t>(g)];
-           bp < plan.group_start[static_cast<std::size_t>(g) + 1]; ++bp) {
-        const nnz_t blk = plan.perm[bp];
-        const index_t* base = &block_base_[blk * order_];
-        for (nnz_t p = block_ptr_[blk]; p < block_ptr_[blk + 1]; ++p) {
-          const real_t v = vals_[p];
-          for (index_t k = 0; k < r; ++k) tmp[k] = v;
-          for (mode_t m = 0; m < order_; ++m) {
-            if (m == mode) continue;
-            const auto frow = factors[m].row(base[m] + local_[m][p]);
-            for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
-          }
-          auto orow = out.row(base[mode] + local_[mode][p]);
-          for (index_t k = 0; k < r; ++k) orow[k] += tmp[k];
+
+  const sched::WorkShape shape{.total = vals_.size(),
+                               .max_unit = plan.max_group,
+                               .units = plan.bases.size(),
+                               .out_rows = shape_[mode],
+                               .rank = r,
+                               .shared_writes = true};
+  const sched::Decision d =
+      sched::choose_schedule(shape, effective_threads(), schedule_mode());
+  record_schedule(d);
+
+  // Accumulates blocks perm[group_start[g]+begin, group_start[g]+end) of
+  // base group g into `dst` (the output matrix or a private partial slab).
+  const auto accumulate = [&](nnz_t g, nnz_t begin, nnz_t end, real_t* tmp,
+                              real_t* dst) {
+    for (nnz_t bp = plan.group_start[g] + begin; bp < plan.group_start[g] + end;
+         ++bp) {
+      const nnz_t blk = plan.perm[bp];
+      const index_t* base = &block_base_[blk * order_];
+      for (nnz_t p = block_ptr_[blk]; p < block_ptr_[blk + 1]; ++p) {
+        const real_t v = vals_[p];
+        for (index_t k = 0; k < r; ++k) tmp[k] = v;
+        for (mode_t m = 0; m < order_; ++m) {
+          if (m == mode) continue;
+          const auto frow = factors[m].row(base[m] + local_[m][p]);
+          for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
         }
+        real_t* drow =
+            dst + static_cast<nnz_t>(base[mode] + local_[mode][p]) * r;
+        for (index_t k = 0; k < r; ++k) drow[k] += tmp[k];
       }
     }
+  };
+  const auto group_items = [&](nnz_t g) {
+    return plan.group_start[g + 1] - plan.group_start[g];
+  };
+
+  if (d.schedule == sched::Schedule::kOwner) {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        plan.owner, d.tiles,
+        [&](int n) { return sched::tile_groups(plan.group_nnz, n); });
+#pragma omp parallel
+    {
+      const auto tmp = ws.thread_scratch<real_t>(r);
+#pragma omp for schedule(dynamic, 1)
+      for (int tile = 0; tile < tp.tiles(); ++tile) {
+        // Whole base groups: each owns output rows [base, base+2^bits).
+        sched::for_each_group_range(tp, tile, group_items,
+                                    [&](nnz_t g, nnz_t begin, nnz_t end) {
+                                      accumulate(g, begin, end, tmp.data(),
+                                                 out.data());
+                                    });
+      }
+    }
+  } else {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        plan.split, d.tiles, [&](int n) {
+          return sched::tile_items_split(plan.block_nnz, plan.group_start, n);
+        });
+    const nnz_t out_elems = static_cast<nnz_t>(shape_[mode]) * r;
+    sched::PartialSet parts;
+#pragma omp parallel
+    {
+      const int team = team_size();
+      const int tid = thread_id();
+      const auto slab = ws.thread_scratch<real_t>(out_elems + r);
+      real_t* partial = slab.data();
+      real_t* tmp = partial + out_elems;
+      std::fill(partial, partial + out_elems, real_t{0});
+      parts.publish(tid, partial);
+      for (int tile = tid; tile < tp.tiles(); tile += team) {
+        sched::for_each_group_range(tp, tile, group_items,
+                                    [&](nnz_t g, nnz_t begin, nnz_t end) {
+                                      accumulate(g, begin, end, tmp, partial);
+                                    });
+      }
+#pragma omp barrier
+      parts.combine_into(out.data(), team, chunk_range(out_elems, team, tid));
+    }
+    count_flops(sched::reduction_flops(d.tiles, shape_[mode], r));
   }
   count_flops(static_cast<std::uint64_t>(vals_.size()) * r * order_);
 }

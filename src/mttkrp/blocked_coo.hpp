@@ -11,15 +11,19 @@
 // line as the target paper), implemented here in its MTTKRP-engine form.
 //
 // Parallelization: for each output mode, blocks are grouped by their
-// mode-m base; a group owns the disjoint output row range
-// [base, base+2^b), so groups run in parallel with no atomics and a fixed
-// accumulation order (bitwise deterministic for any thread count). The
-// numeric phase draws its length-R accumulator from the context workspace.
+// mode-m base; a group owns the disjoint output row range [base, base+2^b).
+// The numeric phase runs the schedule picked by sched::choose_schedule —
+// owner-computes tiles of whole base groups (no atomics, fixed accumulation
+// order, bitwise deterministic for any thread count) or, when one base
+// group dominates, nnz-weighted tiles cutting between blocks with
+// per-thread partial outputs combined in fixed thread order. The length-R
+// accumulator and any partial slab come from the context workspace.
 #pragma once
 
 #include <vector>
 
 #include "mttkrp/engine.hpp"
+#include "sched/partition.hpp"
 
 namespace mdcp {
 
@@ -51,6 +55,11 @@ class BlockedCooEngine final : public MttkrpEngine {
     std::vector<nnz_t> perm;
     std::vector<index_t> bases;
     std::vector<nnz_t> group_start;
+    std::vector<nnz_t> block_nnz;   ///< weight of perm[p]'s block (items)
+    std::vector<nnz_t> group_nnz;   ///< cumulative group weight, size g+1
+    nnz_t max_group = 0;            ///< heaviest base group (skew input)
+    sched::CachedPlan owner;        ///< whole-group tiles
+    sched::CachedPlan split;        ///< block-granular tiles (privatized)
   };
 
   unsigned bits_;

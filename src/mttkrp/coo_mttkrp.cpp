@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sched/reduce.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -34,6 +35,9 @@ void CooMttkrpEngine::do_prepare(index_t rank) {
       }
     }
     plan.row_start.push_back(plan.perm.size());
+    for (std::size_t g = 0; g + 1 < plan.row_start.size(); ++g)
+      plan.max_group =
+          std::max(plan.max_group, plan.row_start[g + 1] - plan.row_start[g]);
   }
   if (rank > 0)
     workspace().reserve(effective_threads(), rank * sizeof(real_t));
@@ -47,30 +51,87 @@ void CooMttkrpEngine::do_compute(mode_t mode,
   MDCP_CHECK(mode < t.order());
   out.resize(t.dim(mode), r, 0);
 
-  const ModePlan& plan = plans_[mode];
+  ModePlan& plan = plans_[mode];
   const mode_t order = t.order();
   Workspace& ws = workspace();
 
+  const sched::WorkShape shape{.total = t.nnz(),
+                               .max_unit = plan.max_group,
+                               .units = plan.rows.size(),
+                               .out_rows = t.dim(mode),
+                               .rank = r,
+                               .shared_writes = true};
+  const sched::Decision d =
+      sched::choose_schedule(shape, effective_threads(), schedule_mode());
+  record_schedule(d);
+
+  // Accumulates the nonzeros perm[row_start[g]+begin, row_start[g]+end)
+  // of row group g into `dst` (the output row or a private partial row).
+  const auto accumulate = [&](nnz_t g, nnz_t begin, nnz_t end, real_t* tmp,
+                              real_t* dst) {
+    for (nnz_t p = plan.row_start[g] + begin; p < plan.row_start[g] + end;
+         ++p) {
+      const nnz_t i = plan.perm[p];
+      const real_t v = t.value(i);
+      for (index_t k = 0; k < r; ++k) tmp[k] = v;
+      for (mode_t m = 0; m < order; ++m) {
+        if (m == mode) continue;
+        const auto frow = factors[m].row(t.index(m, i));
+        for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
+      }
+      for (index_t k = 0; k < r; ++k) dst[k] += tmp[k];
+    }
+  };
+  const auto group_size = [&](nnz_t g) {
+    return plan.row_start[g + 1] - plan.row_start[g];
+  };
+
+  if (d.schedule == sched::Schedule::kOwner) {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        plan.owner, d.tiles,
+        [&](int n) { return sched::tile_groups(plan.row_start, n); });
 #pragma omp parallel
-  {
-    const auto tmp = ws.thread_scratch<real_t>(r);
-#pragma omp for schedule(dynamic, 16)
-    for (std::int64_t g = 0; g < static_cast<std::int64_t>(plan.rows.size());
-         ++g) {
-      auto orow = out.row(plan.rows[static_cast<std::size_t>(g)]);
-      for (nnz_t p = plan.row_start[static_cast<std::size_t>(g)];
-           p < plan.row_start[static_cast<std::size_t>(g) + 1]; ++p) {
-        const nnz_t i = plan.perm[p];
-        const real_t v = t.value(i);
-        for (index_t k = 0; k < r; ++k) tmp[k] = v;
-        for (mode_t m = 0; m < order; ++m) {
-          if (m == mode) continue;
-          const auto frow = factors[m].row(t.index(m, i));
-          for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
-        }
-        for (index_t k = 0; k < r; ++k) orow[k] += tmp[k];
+    {
+      const auto tmp = ws.thread_scratch<real_t>(r);
+#pragma omp for schedule(dynamic, 1)
+      for (int tile = 0; tile < tp.tiles(); ++tile) {
+        sched::for_each_group_range(
+            tp, tile, group_size, [&](nnz_t g, nnz_t begin, nnz_t end) {
+              accumulate(g, begin, end, tmp.data(), out.row(plan.rows[g]).data());
+            });
       }
     }
+  } else {
+    const sched::TilePlan& tp = sched::cached_tiles(
+        plan.split, d.tiles,
+        [&](int n) { return sched::tile_groups_split(plan.row_start, n); });
+    const nnz_t out_elems = static_cast<nnz_t>(t.dim(mode)) * r;
+    sched::PartialSet parts;
+#pragma omp parallel
+    {
+      const int team = team_size();
+      const int tid = thread_id();
+      // One slab per thread: partial output (dim × R) followed by the
+      // length-R Hadamard accumulator.
+      const auto slab = ws.thread_scratch<real_t>(out_elems + r);
+      real_t* partial = slab.data();
+      real_t* tmp = partial + out_elems;
+      std::fill(partial, partial + out_elems, real_t{0});
+      parts.publish(tid, partial);
+      // Static tile→thread assignment: the work each thread accumulates is
+      // a function of (team, tid) only, so the fixed-order combine below
+      // yields bitwise-identical results run to run.
+      for (int tile = tid; tile < tp.tiles(); tile += team) {
+        sched::for_each_group_range(
+            tp, tile, group_size, [&](nnz_t g, nnz_t begin, nnz_t end) {
+              accumulate(g, begin, end, tmp,
+                         partial + static_cast<nnz_t>(plan.rows[g]) * r);
+            });
+      }
+#pragma omp barrier
+      parts.combine_into(out.data(), team, chunk_range(out_elems, team, tid));
+    }
+    count_flops(sched::reduction_flops(d.tiles, t.dim(mode), r));
   }
   count_flops(static_cast<std::uint64_t>(t.nnz()) * r * order);
 }

@@ -8,14 +8,19 @@
 //
 // Parallelization: prepare() precomputes, per mode, a permutation of the
 // nonzeros sorted by that mode's index together with row-group offsets.
-// Each thread owns a contiguous range of output rows, so accumulation is
-// atomics-free and bitwise deterministic for any thread count. The numeric
-// phase draws its length-R Hadamard accumulator from the context workspace.
+// The numeric phase runs the schedule picked by sched::choose_schedule —
+// owner-computes tiles of whole row groups (atomics-free, bitwise
+// deterministic for any thread count) or, when one hub row dominates,
+// balanced tiles that split row groups across threads with per-thread
+// partial outputs combined in fixed thread order. Scratch (the length-R
+// Hadamard accumulator and any partial-output slab) comes from the context
+// workspace.
 #pragma once
 
 #include <vector>
 
 #include "mttkrp/engine.hpp"
+#include "sched/partition.hpp"
 
 namespace mdcp {
 
@@ -38,6 +43,9 @@ class CooMttkrpEngine final : public MttkrpEngine {
     std::vector<nnz_t> perm;       ///< nonzeros sorted by this mode's index
     std::vector<index_t> rows;     ///< distinct row indices, ascending
     std::vector<nnz_t> row_start;  ///< CSR offsets into perm, size rows+1
+    nnz_t max_group = 0;           ///< heaviest row group (skew input)
+    sched::CachedPlan owner;       ///< whole-group tiles
+    sched::CachedPlan split;       ///< balanced tiles (privatized path)
   };
 
   std::vector<ModePlan> plans_;  // one per mode

@@ -45,6 +45,16 @@ obs::Gauge& peak_scratch_metric() {
       obs::MetricsRegistry::instance().gauge("workspace.peak_scratch_bytes");
   return g;
 }
+obs::Counter& owner_launches_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("sched.owner_launches");
+  return c;
+}
+obs::Counter& privatized_launches_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("sched.privatized_launches");
+  return c;
+}
 
 }  // namespace
 
@@ -116,6 +126,34 @@ void MttkrpEngine::count_flops(std::uint64_t flops) noexcept {
   stats_.flops += flops;
   flops_metric().add(flops);
   if (ctx_.stats != nullptr) ctx_.stats->flops += flops;
+}
+
+void MttkrpEngine::record_schedule(const sched::Decision& d) noexcept {
+  const bool priv = d.schedule == sched::Schedule::kPrivatized;
+  record_schedule(d, priv ? 0 : 1, priv ? 1 : 0);
+}
+
+void MttkrpEngine::record_schedule(const sched::Decision& d,
+                                   std::uint64_t owner_launches,
+                                   std::uint64_t privatized_launches,
+                                   bool bump_metrics) noexcept {
+  MDCP_TRACE_SPAN(d.schedule == sched::Schedule::kPrivatized
+                      ? "sched.privatized"
+                      : "sched.owner",
+                  "tiles", static_cast<std::int64_t>(d.tiles));
+  if (bump_metrics) {
+    owner_launches_metric().add(owner_launches);
+    privatized_launches_metric().add(privatized_launches);
+  }
+  const auto update = [&](KernelStats& s) {
+    s.owner_launches += owner_launches;
+    s.privatized_launches += privatized_launches;
+    s.last_schedule = static_cast<std::uint8_t>(d.schedule);
+    s.last_tiles = d.tiles;
+    s.last_sched_reason = d.reason;
+  };
+  update(stats_);
+  if (ctx_.stats != nullptr) update(*ctx_.stats);
 }
 
 int MttkrpEngine::effective_threads() const noexcept {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "sched/schedule.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "util/workspace.hpp"
 
@@ -99,6 +100,23 @@ class MttkrpEngine {
 
   /// Records approximate numeric flops into the stats sinks.
   void count_flops(std::uint64_t flops) noexcept;
+
+  /// Records one scheduled parallel launch into the stats sinks, metrics,
+  /// and trace (schedule, tile count, heuristic reason). Engines call this
+  /// once per launch; the last call of a compute() defines last_schedule.
+  void record_schedule(const sched::Decision& d) noexcept;
+
+  /// Bulk form for engines that run a chain of launches before reporting
+  /// (the dimension-tree node evaluations): `d` is the last launch's
+  /// decision, the counts cover the whole chain. `bump_metrics` = false
+  /// mirrors into KernelStats only — for wrapper engines whose inner engine
+  /// already recorded the launches into the global metrics registry.
+  void record_schedule(const sched::Decision& d, std::uint64_t owner_launches,
+                       std::uint64_t privatized_launches,
+                       bool bump_metrics = true) noexcept;
+
+  /// Schedule override from the context (kAuto = per-mode heuristic).
+  ScheduleMode schedule_mode() const noexcept { return ctx_.sched; }
 
   /// Threads the next kernel launch will use (the context override, or the
   /// library-wide setting).

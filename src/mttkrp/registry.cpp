@@ -57,9 +57,20 @@ class DeferredDTreeEngine final : public MttkrpEngine {
   }
   void do_compute(mode_t mode, const std::vector<Matrix>& factors,
                   Matrix& out) override {
-    const std::uint64_t before = inner_->stats().flops;
+    const KernelStats before = inner_->stats();
+    inner_->context().sched = context().sched;  // forward late overrides
     inner_->compute(mode, factors, out);
-    count_flops(inner_->stats().flops - before);
+    const KernelStats& after = inner_->stats();
+    count_flops(after.flops - before.flops);
+    if (after.last_schedule != 255) {
+      // Mirror the inner engine's schedule telemetry; the inner launches
+      // already bumped the global sched.* metrics.
+      record_schedule({static_cast<sched::Schedule>(after.last_schedule),
+                       after.last_tiles, 0.0, 0, after.last_sched_reason},
+                      after.owner_launches - before.owner_launches,
+                      after.privatized_launches - before.privatized_launches,
+                      /*bump_metrics=*/false);
+    }
   }
 
  private:

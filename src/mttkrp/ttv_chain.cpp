@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sched/partition.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/workspace.hpp"
@@ -107,23 +108,46 @@ void TtvChainEngine::do_compute(mode_t mode,
   out.resize(t.dim(mode), r, 0);
   const mode_t order = t.order();
 
+  // Parallelism is over output columns, each of which owns a disjoint slice
+  // of `out` — there are no shared writes, so the heuristic always answers
+  // owner-computes (a forced privatized request has nothing to privatize).
+  const sched::WorkShape shape{.total = t.nnz() * r,
+                               .max_unit = t.nnz(),
+                               .units = static_cast<nnz_t>(r),
+                               .out_rows = t.dim(mode),
+                               .rank = r,
+                               .shared_writes = false};
+  const sched::Decision d =
+      sched::choose_schedule(shape, effective_threads(), schedule_mode());
+  record_schedule(d);
+  const sched::TilePlan& tp = sched::cached_tiles(
+      tiles_, d.tiles,
+      [&](int n) { return sched::tile_uniform(static_cast<nnz_t>(r), n); });
+
 #pragma omp parallel for schedule(dynamic, 1)
-  for (std::int64_t col = 0; col < static_cast<std::int64_t>(r); ++col) {
+  for (int tile = 0; tile < tp.tiles(); ++tile) {
     ColumnWork& w = work_[static_cast<std::size_t>(thread_id())];
-    w.load(t);
+    sched::for_each_group_range(
+        tp, tile, [&](nnz_t) { return static_cast<nnz_t>(r); },
+        [&](nnz_t, nnz_t begin, nnz_t end) {
+          for (nnz_t col = begin; col < end; ++col) {
+            w.load(t);
 
-    // Contract every mode except the output mode, one TTV at a time.
-    for (mode_t m = 0; m < order; ++m) {
-      if (m == mode) continue;
-      const auto pos = static_cast<std::size_t>(
-          std::find(w.live_modes.begin(), w.live_modes.end(), m) -
-          w.live_modes.begin());
-      w.ttv(pos, factors[m], static_cast<index_t>(col));
-    }
+            // Contract every mode except the output mode, one TTV at a time.
+            for (mode_t m = 0; m < order; ++m) {
+              if (m == mode) continue;
+              const auto pos = static_cast<std::size_t>(
+                  std::find(w.live_modes.begin(), w.live_modes.end(), m) -
+                  w.live_modes.begin());
+              w.ttv(pos, factors[m], static_cast<index_t>(col));
+            }
 
-    // One live mode remains (== `mode`); its tuples are the output column.
-    for (nnz_t i = 0; i < w.size(); ++i)
-      out(w.idx[0][i], static_cast<index_t>(col)) += w.vals[i];
+            // One live mode remains (== `mode`); its tuples are the output
+            // column.
+            for (nnz_t i = 0; i < w.size(); ++i)
+              out(w.idx[0][i], static_cast<index_t>(col)) += w.vals[i];
+          }
+        });
   }
   count_flops(static_cast<std::uint64_t>(t.nnz()) * r * order);
 }

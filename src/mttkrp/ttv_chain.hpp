@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mttkrp/engine.hpp"
+#include "sched/partition.hpp"
 
 namespace mdcp {
 
@@ -57,6 +58,7 @@ class TtvChainEngine final : public MttkrpEngine {
   };
 
   std::vector<ColumnWork> work_;  // one per thread, reused across calls
+  sched::CachedPlan tiles_;       // column tiles (always owner-computes)
 };
 
 }  // namespace mdcp

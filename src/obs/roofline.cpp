@@ -41,7 +41,10 @@ double measure_fma_gflops(double seconds_budget) {
   double best = 0;
   const std::uint64_t deadline =
       clock_ns() + static_cast<std::uint64_t>(seconds_budget * 1e9);
-  while (clock_ns() < deadline) {
+  // Loop until a non-zero rate lands (guaranteed progress even if a loaded
+  // machine pushes a single pass past the deadline), then until the budget
+  // runs out.
+  while (best == 0.0 || clock_ns() < deadline) {
     std::atomic<std::uint64_t> flops{0};
     const std::uint64_t t0 = clock_ns();
     parallel_for_chunked(static_cast<nnz_t>(threads),
@@ -87,7 +90,9 @@ double measure_triad_gbps(double seconds_budget) {
     const double bytes = 3.0 * sizeof(double) * static_cast<double>(kElems);
     if (warmed && secs > 0) best = std::max(best, bytes / secs * 1e-9);
     warmed = true;
-  } while (clock_ns() < deadline);
+    // A loaded machine can burn the whole budget on the warm-up pass;
+    // always take at least one measured pass so the ceiling is never 0.
+  } while (best == 0.0 || clock_ns() < deadline);
   return best;
 }
 

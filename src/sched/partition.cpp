@@ -1,0 +1,109 @@
+#include "sched/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mdcp::sched {
+
+namespace {
+
+nnz_t num_groups(std::span<const nnz_t> group_ptr) {
+  MDCP_CHECK_MSG(!group_ptr.empty(), "group prefix must have size groups+1");
+  return group_ptr.size() - 1;
+}
+
+}  // namespace
+
+TilePlan tile_groups(std::span<const nnz_t> group_ptr, int max_tiles) {
+  const nnz_t groups = num_groups(group_ptr);
+  const nnz_t total = group_ptr[groups] - group_ptr[0];
+  if (max_tiles < 1) max_tiles = 1;
+
+  TilePlan plan;
+  plan.splits_groups = false;
+  plan.bounds.push_back({0, 0});
+  const nnz_t target =
+      total == 0 ? 0 : (total + static_cast<nnz_t>(max_tiles) - 1) /
+                           static_cast<nnz_t>(max_tiles);
+  nnz_t acc = 0;
+  for (nnz_t g = 0; g < groups; ++g) {
+    acc += group_ptr[g + 1] - group_ptr[g];
+    // Close the tile once it reaches its share — after the group that tips
+    // it over, so the bound is target + max-group-weight.
+    if (target > 0 && acc >= target && g + 1 < groups &&
+        plan.tiles() < max_tiles - 1) {
+      plan.bounds.push_back({g + 1, 0});
+      acc = 0;
+    }
+  }
+  plan.bounds.push_back({groups, 0});
+  return plan;
+}
+
+TilePlan tile_groups_split(std::span<const nnz_t> group_ptr, int tiles) {
+  const nnz_t groups = num_groups(group_ptr);
+  const nnz_t base = group_ptr[0];
+  const nnz_t total = group_ptr[groups] - base;
+  if (tiles < 1) tiles = 1;
+
+  TilePlan plan;
+  plan.splits_groups = true;
+  plan.bounds.push_back({0, 0});
+  for (int t = 1; t < tiles; ++t) {
+    const nnz_t pos =
+        base + total / static_cast<nnz_t>(tiles) * static_cast<nnz_t>(t) +
+        total % static_cast<nnz_t>(tiles) * static_cast<nnz_t>(t) /
+            static_cast<nnz_t>(tiles);
+    // Last group whose start is <= pos; empty groups at pos collapse onto
+    // the following non-empty one, keeping bounds canonical.
+    const auto it = std::upper_bound(group_ptr.begin(), group_ptr.end(), pos);
+    const nnz_t g = static_cast<nnz_t>(it - group_ptr.begin()) - 1;
+    plan.bounds.push_back({g, pos - group_ptr[g]});
+  }
+  plan.bounds.push_back({groups, 0});
+  return plan;
+}
+
+TilePlan tile_items_split(std::span<const nnz_t> item_weights,
+                          std::span<const nnz_t> item_group_ptr, int tiles) {
+  const nnz_t groups = num_groups(item_group_ptr);
+  const nnz_t items = item_weights.size();
+  MDCP_CHECK_MSG(item_group_ptr[groups] - item_group_ptr[0] == items,
+                 "item/group prefix mismatch");
+  const nnz_t total =
+      std::accumulate(item_weights.begin(), item_weights.end(), nnz_t{0});
+  if (tiles < 1) tiles = 1;
+
+  TilePlan plan;
+  plan.splits_groups = true;
+  plan.bounds.push_back({0, 0});
+  const nnz_t target =
+      total == 0
+          ? 0
+          : (total + static_cast<nnz_t>(tiles) - 1) / static_cast<nnz_t>(tiles);
+  nnz_t acc = 0;
+  nnz_t g = 0;
+  for (nnz_t i = 0; i < items; ++i) {
+    acc += item_weights[i];
+    if (target > 0 && acc >= target && i + 1 < items &&
+        plan.tiles() < tiles - 1) {
+      const nnz_t next = item_group_ptr[0] + i + 1;
+      while (g < groups && item_group_ptr[g + 1] <= next) ++g;
+      plan.bounds.push_back(g == groups
+                                ? TileBound{groups, 0}
+                                : TileBound{g, next - item_group_ptr[g]});
+      acc = 0;
+    }
+  }
+  plan.bounds.push_back({groups, 0});
+  return plan;
+}
+
+TilePlan tile_uniform(nnz_t n, int tiles) {
+  const nnz_t ptr[2] = {0, n};
+  return tile_groups_split(std::span<const nnz_t>(ptr, 2), tiles);
+}
+
+}  // namespace mdcp::sched

@@ -1,0 +1,38 @@
+// Deterministic combine step for privatized-reduction schedules.
+//
+// Each thread of a privatized launch accumulates into a private slab
+// (Workspace scratch) and publishes its pointer into a PartialSet. After a
+// barrier, the threads jointly reduce: every thread owns a disjoint
+// contiguous chunk of the output and adds the partials over that chunk in
+// ascending thread order t = 0..team-1. The fixed combine order makes
+// repeated runs at the same thread count bitwise identical (floating-point
+// addition is not associative, so the order must not depend on scheduling
+// races); across different thread counts results drift within the usual
+// reassociation tolerance, as documented in docs/architecture.md.
+#pragma once
+
+#include "util/parallel.hpp"
+#include "util/types.hpp"
+#include "util/workspace.hpp"
+
+namespace mdcp::sched {
+
+/// Pointer board for per-thread partial output slabs. Stack-allocate one
+/// outside the parallel region; threads publish before the barrier and read
+/// any slot after it (the barrier orders publish before combine).
+struct PartialSet {
+  real_t* slabs[Workspace::kMaxThreads] = {};
+
+  void publish(int tid, real_t* slab) noexcept { slabs[tid] = slab; }
+
+  /// Adds all published partials onto `out[range]` in thread order. Call
+  /// from every team member with its own disjoint chunk of [0, n).
+  void combine_into(real_t* out, int team, Range range) const noexcept {
+    for (int t = 0; t < team; ++t) {
+      const real_t* part = slabs[t];
+      for (nnz_t i = range.begin; i < range.end; ++i) out[i] += part[i];
+    }
+  }
+};
+
+}  // namespace mdcp::sched

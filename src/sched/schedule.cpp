@@ -1,0 +1,74 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace mdcp::sched {
+
+const char* schedule_name(Schedule s) noexcept {
+  return s == Schedule::kPrivatized ? "privatized" : "owner";
+}
+
+std::size_t privatized_partial_bytes(int threads, index_t rows,
+                                     index_t rank) noexcept {
+  return static_cast<std::size_t>(threads) * static_cast<std::size_t>(rows) *
+         static_cast<std::size_t>(rank) * sizeof(real_t);
+}
+
+std::uint64_t reduction_flops(int threads, index_t rows,
+                              index_t rank) noexcept {
+  return static_cast<std::uint64_t>(threads) *
+         static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(rank);
+}
+
+int owner_tile_count(nnz_t units, int threads) noexcept {
+  const nnz_t want = static_cast<nnz_t>(threads) *
+                     static_cast<nnz_t>(kOwnerTilesPerThread);
+  return static_cast<int>(std::max<nnz_t>(1, std::min(want, units)));
+}
+
+Decision choose_schedule(const WorkShape& shape, int threads,
+                         ScheduleMode mode) noexcept {
+  Decision d;
+  d.skew = shape.total > 0 ? static_cast<double>(shape.max_unit) *
+                                 static_cast<double>(threads) /
+                                 static_cast<double>(shape.total)
+                           : 0.0;
+
+  const auto owner = [&](const char* why) {
+    d.schedule = Schedule::kOwner;
+    d.tiles = owner_tile_count(shape.units, threads);
+    d.partial_bytes = 0;
+    d.reason = why;
+    return d;
+  };
+  const auto privatized = [&](const char* why) {
+    d.schedule = Schedule::kPrivatized;
+    d.tiles = std::max(1, threads);
+    d.partial_bytes =
+        privatized_partial_bytes(threads, shape.out_rows, shape.rank);
+    d.reason = why;
+    return d;
+  };
+
+  // Order matters: structural impossibility first, explicit overrides next,
+  // then the profitability cascade.
+  if (!shape.shared_writes) return owner("no-shared-writes");
+  if (mode == ScheduleMode::kOwner) return owner("forced-owner");
+  if (mode == ScheduleMode::kPrivatized) return privatized("forced-privatized");
+  if (threads <= 1) return owner("single-thread");
+  if (shape.total < kMinPrivatizeWork) return owner("small-work");
+  // skew <= 1: even the heaviest indivisible group fits inside one thread's
+  // fair share, so owner-computes already balances.
+  if (d.skew <= 1.0) return owner("balanced");
+  if (privatized_partial_bytes(threads, shape.out_rows, shape.rank) >
+      kMaxPartialBytes)
+    return owner("partials-too-large");
+  // Reduction pass (threads × rows × rank adds) must be amortized by the
+  // main kernel (~total × rank flops): require total >= threads × rows.
+  if (shape.total < static_cast<nnz_t>(threads) *
+                        static_cast<nnz_t>(shape.out_rows))
+    return owner("reduction-dominates");
+  return privatized("skewed");
+}
+
+}  // namespace mdcp::sched

@@ -98,6 +98,18 @@ class Workspace {
 /// Process-wide default arena used when a KernelContext names no workspace.
 Workspace& default_workspace();
 
+/// Caller-side override for the parallel schedule of MTTKRP kernels.
+/// kAuto lets each engine's heuristic pick per mode (skew × threads ×
+/// output size; see sched/schedule.hpp); the forced modes pin one schedule
+/// for benchmarking, testing, and strategy-layer control. Kernels whose
+/// outputs are never shared between tiles (pure scatter copies, independent
+/// columns) ignore a kPrivatized request — there is nothing to privatize.
+enum class ScheduleMode : std::uint8_t {
+  kAuto = 0,
+  kOwner = 1,       ///< owner-computes: whole-group tiles, race-free
+  kPrivatized = 2,  ///< split tiles + per-thread partial outputs
+};
+
 /// Uniform per-engine counters recorded by the MttkrpEngine base class:
 /// wall-clock split into the symbolic (prepare) and numeric (compute)
 /// phases, call counts, approximate numeric flops, and the scratch
@@ -110,6 +122,18 @@ struct KernelStats {
   std::uint64_t flops = 0;  ///< approximate; engines report mul+add counts
   std::size_t peak_scratch_bytes = 0;
 
+  // Parallel-schedule telemetry (see sched/schedule.hpp). A "launch" is one
+  // scheduled parallel kernel region; engines with multiple phases (or
+  // memoized node chains) may launch several times per compute().
+  std::uint64_t owner_launches = 0;
+  std::uint64_t privatized_launches = 0;
+  /// sched::Schedule of the most recent launch (255 = none yet).
+  std::uint8_t last_schedule = 255;
+  int last_tiles = 0;
+  /// Static string naming why the last schedule was chosen ("skewed",
+  /// "single-thread", "forced-owner", ...).
+  const char* last_sched_reason = "";
+
   /// Field-wise delta against an earlier snapshot of the same stats object
   /// (peaks are carried over, not subtracted). Used to attribute one CP-ALS
   /// run's share of a long-lived engine's counters.
@@ -121,6 +145,11 @@ struct KernelStats {
     d.compute_calls = compute_calls - baseline.compute_calls;
     d.flops = flops - baseline.flops;
     d.peak_scratch_bytes = peak_scratch_bytes;
+    d.owner_launches = owner_launches - baseline.owner_launches;
+    d.privatized_launches = privatized_launches - baseline.privatized_launches;
+    d.last_schedule = last_schedule;
+    d.last_tiles = last_tiles;
+    d.last_sched_reason = last_sched_reason;
     return d;
   }
 };
@@ -132,6 +161,10 @@ struct KernelContext {
   Workspace* workspace = nullptr;  ///< null = default_workspace()
   int threads = 0;                 ///< 0 = the library-wide thread setting
   KernelStats* stats = nullptr;    ///< optional shared sink (e.g. per bench)
+  /// Parallel-schedule override consulted by every engine's numeric phase
+  /// (kAuto = per-mode heuristic). The strategy layer and benchmarks use
+  /// this to pin owner-computes or privatized-reduction execution.
+  ScheduleMode sched = ScheduleMode::kAuto;
 };
 
 }  // namespace mdcp

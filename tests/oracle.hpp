@@ -1,0 +1,89 @@
+// Differential-testing oracle: naive dense-materialization MTTKRP.
+//
+// The oracle deliberately shares no code path with the library kernels.
+// The sparse tensor is scattered into a dense array first — which also
+// defines the semantics for duplicate coordinates (they sum) — and the
+// MTTKRP is then evaluated position by position with long-double
+// accumulation, so the reference is more accurate than any engine under
+// test. Cost is O(prod(shape) × rank) per mode: use only on the tiny
+// tensors of the differential suite.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo_tensor.hpp"
+
+namespace mdcp::testing {
+
+inline Matrix oracle_mttkrp(const CooTensor& t,
+                            const std::vector<Matrix>& factors, mode_t mode) {
+  std::size_t total = 1;
+  for (mode_t m = 0; m < t.order(); ++m)
+    total *= static_cast<std::size_t>(t.dim(m));
+
+  // Materialize: duplicate coordinates fold here, exactly as every engine
+  // must fold them.
+  std::vector<long double> dense(total, 0.0L);
+  std::vector<index_t> c(t.order());
+  for (nnz_t i = 0; i < t.nnz(); ++i) {
+    t.coords(i, c);
+    std::size_t pos = 0;
+    for (mode_t m = 0; m < t.order(); ++m)
+      pos = pos * static_cast<std::size_t>(t.dim(m)) + c[m];
+    dense[pos] += static_cast<long double>(t.value(i));
+  }
+
+  const index_t r = factors[0].cols();
+  std::vector<long double> acc(
+      static_cast<std::size_t>(t.dim(mode)) * static_cast<std::size_t>(r),
+      0.0L);
+  std::vector<index_t> p(t.order(), 0);
+  for (std::size_t lin = 0; lin < total; ++lin) {
+    const long double v = dense[lin];
+    if (v != 0.0L) {
+      std::size_t rem = lin;
+      for (mode_t m = t.order(); m-- > 0;) {
+        p[m] = static_cast<index_t>(rem % t.dim(m));
+        rem /= t.dim(m);
+      }
+      for (index_t k = 0; k < r; ++k) {
+        long double prod = v;
+        for (mode_t m = 0; m < t.order(); ++m)
+          if (m != mode)
+            prod *= static_cast<long double>(factors[m](p[m], k));
+        acc[static_cast<std::size_t>(p[mode]) * r + k] += prod;
+      }
+    }
+  }
+
+  Matrix out;
+  out.resize(t.dim(mode), r, 0);
+  for (index_t i = 0; i < t.dim(mode); ++i)
+    for (index_t k = 0; k < r; ++k)
+      out(i, k) =
+          static_cast<real_t>(acc[static_cast<std::size_t>(i) * r + k]);
+  return out;
+}
+
+/// Largest |oracle - got| entry, scaled by max(1, ||oracle||_inf) so the
+/// bound is relative for large values and absolute near zero.
+inline double max_scaled_error(const Matrix& oracle, const Matrix& got) {
+  if (oracle.rows() != got.rows() || oracle.cols() != got.cols())
+    return std::numeric_limits<double>::infinity();
+  double scale = 1.0, err = 0.0;
+  for (index_t i = 0; i < oracle.rows(); ++i)
+    for (index_t k = 0; k < oracle.cols(); ++k)
+      scale = std::max(scale, std::abs(static_cast<double>(oracle(i, k))));
+  for (index_t i = 0; i < oracle.rows(); ++i)
+    for (index_t k = 0; k < oracle.cols(); ++k)
+      err = std::max(err, std::abs(static_cast<double>(oracle(i, k)) -
+                                   static_cast<double>(got(i, k))));
+  return err / scale;
+}
+
+}  // namespace mdcp::testing

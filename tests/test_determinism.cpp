@@ -3,6 +3,8 @@
 // just close) for any number of threads.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cpals/cpals.hpp"
 #include "la/blas.hpp"
 #include "mttkrp/registry.hpp"
@@ -45,6 +47,89 @@ TEST(Determinism, MttkrpBitwiseAcrossThreadCounts) {
       EXPECT_EQ(results[0] == results[i], true)
           << name << ": thread count changed the bits";
     }
+  }
+}
+
+// Forced owner-computes keeps the cross-thread-count bitwise guarantee even
+// on tensors where the auto heuristic would choose privatized tiles.
+TEST(Determinism, ForcedOwnerBitwiseAcrossThreadCounts) {
+  ThreadRestore restore;
+  const auto t = generate_zipf(shape_t{40, 36, 32}, 4000, 1.3, 71);
+  const auto factors = random_factors(t, 8, 72);
+  for (const auto& name : EngineRegistry::instance().names()) {
+    if (name == "auto+probe") continue;
+    KernelContext ctx;
+    ctx.sched = ScheduleMode::kOwner;
+    std::vector<Matrix> results;
+    for (int threads : {1, 2, 4}) {
+      set_num_threads(threads);
+      const auto engine = make_engine(name, t, 8, ctx);
+      Matrix out;
+      engine->compute(1, factors, out);
+      results.push_back(std::move(out));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[0] == results[i], true)
+          << name << ": forced owner changed bits across thread counts";
+    }
+  }
+}
+
+// The privatized schedule combines per-thread partials in fixed thread
+// order, so at a *fixed* thread count repeated runs must be bitwise
+// identical; across different thread counts the accumulation order changes
+// and only closeness is guaranteed.
+TEST(Determinism, PrivatizedBitwiseAtFixedThreadCount) {
+  ThreadRestore restore;
+  const auto t = generate_zipf(shape_t{40, 36, 32, 28}, 5000, 1.2, 73);
+  const auto factors = random_factors(t, 8, 74);
+  KernelContext ctx;
+  ctx.sched = ScheduleMode::kPrivatized;
+  for (const auto& name : EngineRegistry::instance().names()) {
+    if (name == "auto+probe") continue;
+    set_num_threads(4);
+    std::vector<Matrix> runs;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto engine = make_engine(name, t, 8, ctx);
+      Matrix out;
+      engine->compute(2, factors, out);
+      runs.push_back(std::move(out));
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[0] == runs[i], true)
+          << name << ": privatized run-to-run bits differ at 4 threads";
+    }
+  }
+}
+
+TEST(Determinism, PrivatizedDriftAcrossThreadCountsWithinTolerance) {
+  ThreadRestore restore;
+  const auto t = generate_zipf(shape_t{40, 36, 32, 28}, 5000, 1.2, 75);
+  const auto factors = random_factors(t, 8, 76);
+  KernelContext ctx;
+  ctx.sched = ScheduleMode::kPrivatized;
+  for (const auto& name : EngineRegistry::instance().names()) {
+    if (name == "auto+probe") continue;
+    set_num_threads(1);
+    const auto e1 = make_engine(name, t, 8, ctx);
+    Matrix out1;
+    e1->compute(0, factors, out1);
+    set_num_threads(4);
+    const auto e4 = make_engine(name, t, 8, ctx);
+    Matrix out4;
+    e4->compute(0, factors, out4);
+    ASSERT_EQ(out1.rows(), out4.rows());
+    ASSERT_EQ(out1.cols(), out4.cols());
+    double scale = 1.0, err = 0.0;
+    for (index_t i = 0; i < out1.rows(); ++i) {
+      for (index_t k = 0; k < out1.cols(); ++k) {
+        scale = std::max(scale, std::abs(static_cast<double>(out1(i, k))));
+        err = std::max(err, std::abs(static_cast<double>(out1(i, k)) -
+                                     static_cast<double>(out4(i, k))));
+      }
+    }
+    EXPECT_LT(err / scale, 1e-12)
+        << name << ": 1-vs-4-thread privatized drift too large";
   }
 }
 
