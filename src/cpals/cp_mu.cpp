@@ -54,6 +54,29 @@ CpAlsResult cp_mu(const CooTensor& tensor, MttkrpEngine& engine,
   Matrix m_out, h, denom;
   real_t prev_fit = 0;
 
+  const auto all_finite = [](const Matrix& m) {
+    for (std::size_t e = 0; e < m.size(); ++e)
+      if (!std::isfinite(m.data()[e])) return false;
+    return true;
+  };
+  // Bounded restart mirroring cp_als: re-draw the offending factor (kept
+  // strictly positive, as at initialization) and keep sweeping.
+  const auto recover_factor = [&](mode_t n, const char* why) {
+    ++result.recoveries;
+    if (result.recoveries > options.max_recoveries)
+      throw numeric_error(std::string("cp-mu: numerical recovery budget "
+                                      "exhausted (last cause: ") +
+                          why + ")");
+    if (options.verbose)
+      std::printf("[cp-mu] recovery %d: %s, re-randomizing factor %u\n",
+                  result.recoveries, why, static_cast<unsigned>(n));
+    Matrix f = Matrix::random_uniform(tensor.dim(n), rank, rng);
+    for (std::size_t e = 0; e < f.size(); ++e) f.data()[e] += real_t{0.1};
+    factors[n] = std::move(f);
+    gram(factors[n], grams[n]);
+    engine.factor_updated(n);
+  };
+
   for (int it = 0; it < options.max_iterations; ++it) {
     for (mode_t n = 0; n < order; ++n) {
       mttkrp_t.start();
@@ -76,7 +99,13 @@ CpAlsResult cp_mu(const CooTensor& tensor, MttkrpEngine& engine,
           urow[r] *= mrow[r] / (drow[r] + kEps);
         }
       });
-      gram(u, grams[n]);
+      if (!all_finite(u)) {
+        // A poisoned MTTKRP output (or overflow) reached the multiplicative
+        // update; the Gram refresh below would spread it to every mode.
+        recover_factor(n, "non-finite factor update");
+      } else {
+        gram(u, grams[n]);
+      }
       dense_t.stop();
 
       engine.factor_updated(n);
@@ -100,16 +129,24 @@ CpAlsResult cp_mu(const CooTensor& tensor, MttkrpEngine& engine,
       for (index_t r = 0; r < rank; ++r)
         for (index_t q = 0; q < rank; ++q) m_norm_sq += acc(r, q);
     }
-    const real_t fit = fit_from_parts(
+    real_t fit = fit_from_parts(
         x_norm, inner, std::sqrt(std::max<real_t>(m_norm_sq, 0)));
     fit_t.stop();
+
+    bool recovered_this_iter = false;
+    if (!std::isfinite(fit)) {
+      recover_factor(static_cast<mode_t>(order - 1), "non-finite fit");
+      fit = prev_fit;
+      recovered_this_iter = true;
+    }
 
     result.fits.push_back(fit);
     result.iterations = it + 1;
     if (options.verbose)
       std::printf("[cp-mu %s] iter %3d fit %.6f\n", engine.name().c_str(),
                   it + 1, static_cast<double>(fit));
-    if (it > 0 && std::abs(fit - prev_fit) < options.tolerance) {
+    if (!recovered_this_iter && it > 0 &&
+        std::abs(fit - prev_fit) < options.tolerance) {
       result.converged = true;
       prev_fit = fit;
       break;

@@ -37,18 +37,29 @@ const char* engine_kind_name(EngineKind kind) {
 namespace {
 
 // Single construction path for both the enum and the string spelling. The
-// auto engines are special-cased only to thread the memory budget through —
-// every other name goes straight to the registry.
+// memory budget rides in through the context, so fixed engines get arena
+// enforcement (typed budget_error) and the auto engines additionally plan
+// their degradation chain. Engines are created *unprepared*: cp_als prepares
+// lazily, which keeps prepare-time degradation events inside the run's
+// reporting window.
+std::unique_ptr<MttkrpEngine> make_named_engine_unprepared(
+    const std::string& name, std::size_t memory_budget_bytes) {
+  KernelContext ctx;
+  ctx.mem_budget = memory_budget_bytes;
+  if (name == "auto" || name == "auto+probe") {
+    return std::make_unique<AutoEngine>(name == "auto+probe",
+                                        memory_budget_bytes, CostModelParams{},
+                                        3, ctx);
+  }
+  return make_engine(name, ctx);
+}
+
 std::unique_ptr<MttkrpEngine> make_named_engine(
     const CooTensor& tensor, const std::string& name, index_t rank,
     std::size_t memory_budget_bytes) {
-  if (memory_budget_bytes != 0 && (name == "auto" || name == "auto+probe")) {
-    auto engine = std::make_unique<AutoEngine>(name == "auto+probe",
-                                               memory_budget_bytes);
-    engine->prepare(tensor, rank);
-    return engine;
-  }
-  return make_engine(name, tensor, rank);
+  auto engine = make_named_engine_unprepared(name, memory_budget_bytes);
+  engine->prepare(tensor, rank);
+  return engine;
 }
 
 }  // namespace
@@ -64,8 +75,8 @@ CpAlsResult cp_als(const CooTensor& tensor, const CpAlsOptions& options) {
   const std::string name = options.engine_name.empty()
                                ? engine_kind_name(options.engine)
                                : options.engine_name;
-  const auto engine = make_named_engine(tensor, name, options.rank,
-                                        options.memory_budget_bytes);
+  const auto engine =
+      make_named_engine_unprepared(name, options.memory_budget_bytes);
   return cp_als(tensor, *engine, options);
 }
 
@@ -75,8 +86,8 @@ CpAlsResult cp_als_best_of(const CooTensor& tensor,
   const std::string name = options.engine_name.empty()
                                ? engine_kind_name(options.engine)
                                : options.engine_name;
-  const auto engine = make_named_engine(tensor, name, options.rank,
-                                        options.memory_budget_bytes);
+  const auto engine =
+      make_named_engine_unprepared(name, options.memory_budget_bytes);
   CpAlsResult best;
   for (int s = 0; s < num_starts; ++s) {
     CpAlsOptions opt = options;
@@ -98,6 +109,7 @@ void append_kernel_stats(obs::JsonWriter& w, const KernelStats& s) {
       .kv("compute_calls", s.compute_calls)
       .kv("flops", s.flops)
       .kv("peak_scratch_bytes", static_cast<std::uint64_t>(s.peak_scratch_bytes))
+      .kv("degradations", s.degradations)
       .end_object();
 }
 
@@ -112,9 +124,18 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
 
   MDCP_TRACE_SPAN("cpals.run", "rank", static_cast<std::int64_t>(rank));
 
+  // Degradation-event cursor taken before prepare() so chain fallbacks made
+  // at prepare time ("predicted-over-budget") are reported with this run.
+  const auto* auto_engine = dynamic_cast<const AutoEngine*>(&engine);
+  const std::size_t degradations_before =
+      auto_engine != nullptr ? auto_engine->degradation_events().size() : 0;
+
+  // Stats snapshot taken before the (possibly lazy) prepare so prepare-time
+  // work — symbolic seconds and predicted-over-budget degradations — is
+  // attributed to this run.
+  const KernelStats stats_before = engine.stats();
   engine.invalidate_all();
   if (!engine.prepared()) engine.prepare(tensor, rank);
-  const KernelStats stats_before = engine.stats();
 
   CpAlsResult result;
   result.engine_name = engine.name();
@@ -155,6 +176,34 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   Matrix h;
   real_t prev_fit = 0;
 
+  const auto all_finite = [](const Matrix& m) {
+    const real_t* d = m.data();
+    for (std::size_t e = 0; e < m.size(); ++e)
+      if (!std::isfinite(d[e])) return false;
+    return true;
+  };
+  obs::Counter& recoveries_metric = metrics.counter("cpals.recoveries");
+  // Bounded restart: re-randomize the offending factor and continue the
+  // sweep. Throws numeric_error once the per-run budget is spent — a
+  // persistently poisoned input must not loop forever.
+  const auto recover_factor = [&](mode_t n, const char* why) {
+    ++result.recoveries;
+    if (result.recoveries > options.max_recoveries)
+      throw numeric_error(std::string("cp-als: numerical recovery budget "
+                                      "exhausted (last cause: ") +
+                          why + ")");
+    MDCP_TRACE_SPAN("cpals.recovery", "mode", static_cast<std::int64_t>(n));
+    recoveries_metric.add();
+    if (options.verbose)
+      std::printf("[cp-als] recovery %d: %s, re-randomizing factor %u\n",
+                  result.recoveries, why, static_cast<unsigned>(n));
+    factors[n] = Matrix::random_uniform(tensor.dim(n), rank, rng);
+    column_normalize(factors[n]);
+    std::fill(lambda.begin(), lambda.end(), real_t{1});
+    gram(factors[n], grams[n]);
+    engine.factor_updated(n);
+  };
+
   for (int it = 0; it < options.max_iterations; ++it) {
     MDCP_TRACE_SPAN("cpals.iteration", "iter", static_cast<std::int64_t>(it));
     const KernelStats iter_stats_before = engine.stats();
@@ -179,24 +228,43 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
       if (options.ridge > 0) {
         for (index_t d = 0; d < rank; ++d) h(d, d) += options.ridge;
       }
-      factors[n] = solve_normal_equations(h, mttkrp_out);
-      if (options.nonnegative) {
-        // Projected ALS: negative entries are infeasible for count data.
-        real_t* data = factors[n].data();
-        for (std::size_t e = 0; e < factors[n].size(); ++e)
-          if (data[e] < 0) data[e] = 0;
+      bool update_ok = true;
+      SolveInfo solve_info;
+      try {
+        factors[n] = solve_normal_equations(h, mttkrp_out, &solve_info);
+      } catch (const numeric_error&) {
+        // Non-finite Gram matrix: a poisoned upstream factor (or injected
+        // kernel NaN) reached H. Regularization cannot repair it — restart
+        // the factor instead.
+        update_ok = false;
       }
-      lambda = column_normalize(factors[n]);
-      // Columns that collapsed to zero would poison H; re-randomize them.
-      for (index_t r = 0; r < rank; ++r) {
-        if (lambda[r] == 0) {
-          for (index_t i = 0; i < factors[n].rows(); ++i)
-            factors[n](i, r) = rng.next_real();
-          auto norms = column_normalize(factors[n]);
-          (void)norms;
+      result.ridge_retries += solve_info.ridge_retries;
+      if (solve_info.used_pseudo_inverse) ++result.pseudo_inverse_solves;
+      // Guard the update itself: a NaN/Inf row (e.g. a poisoned MTTKRP
+      // output pushed through the solve) must not survive into the Gram
+      // matrices, where it would contaminate every later mode.
+      if (update_ok && !all_finite(factors[n])) update_ok = false;
+      if (!update_ok) {
+        recover_factor(n, "non-finite factor update");
+      } else {
+        if (options.nonnegative) {
+          // Projected ALS: negative entries are infeasible for count data.
+          real_t* data = factors[n].data();
+          for (std::size_t e = 0; e < factors[n].size(); ++e)
+            if (data[e] < 0) data[e] = 0;
         }
+        lambda = column_normalize(factors[n]);
+        // Columns that collapsed to zero would poison H; re-randomize them.
+        for (index_t r = 0; r < rank; ++r) {
+          if (lambda[r] == 0) {
+            for (index_t i = 0; i < factors[n].rows(); ++i)
+              factors[n](i, r) = rng.next_real();
+            auto norms = column_normalize(factors[n]);
+            (void)norms;
+          }
+        }
+        gram(factors[n], grams[n]);
       }
-      gram(factors[n], grams[n]);
       dense_t.stop();
 
       engine.factor_updated(n);
@@ -233,6 +301,17 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
       fit_t.stop();
     }
 
+    // Fit guard: a non-finite fit means a poisoned value slipped past the
+    // per-update checks (it can arrive through the cached MTTKRP output the
+    // fit identity reuses). Restart the factor that fed it and report the
+    // previous fit so convergence is neither declared nor corrupted.
+    bool recovered_this_iter = false;
+    if (!std::isfinite(fit)) {
+      recover_factor(static_cast<mode_t>(order - 1), "non-finite fit");
+      fit = prev_fit;
+      recovered_this_iter = true;
+    }
+
     result.fits.push_back(fit);
     result.iterations = it + 1;
     if (options.verbose) {
@@ -255,13 +334,15 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
       for (mode_t n = 0; n < order; ++n) w.value(iter_mode_seconds[n]);
       w.end_array();
       w.kv("memo_hits", memo_hits.value() - iter_hits_before)
-          .kv("memo_misses", memo_misses.value() - iter_misses_before);
+          .kv("memo_misses", memo_misses.value() - iter_misses_before)
+          .kv("recoveries", result.recoveries);
       append_kernel_stats(w, engine.stats().since(iter_stats_before));
       w.end_object();
       options.reporter->write_line(w.str());
     }
 
-    if (it > 0 && std::abs(fit - prev_fit) < options.tolerance) {
+    if (!recovered_this_iter && it > 0 &&
+        std::abs(fit - prev_fit) < options.tolerance) {
       result.converged = true;
       prev_fit = fit;
       break;
@@ -282,7 +363,7 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   result.kernel_stats = engine.stats().since(stats_before);
   result.engine_peak_memory_bytes = engine.peak_memory_bytes();
 
-  if (const auto* auto_engine = dynamic_cast<const AutoEngine*>(&engine)) {
+  if (auto_engine != nullptr) {
     const auto& prediction = auto_engine->report().winner().prediction;
     result.predicted_seconds_per_iteration = prediction.seconds_per_iteration;
     result.predicted_memory_bytes = prediction.total_memory_bytes();
@@ -307,6 +388,28 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     }
   }
 
+  if (options.reporter != nullptr && auto_engine != nullptr) {
+    // One "degradation" record per engine fallback taken during this run
+    // (including prepare-time skips), ahead of the summary so downstream
+    // consumers see causes before outcomes.
+    const auto& events = auto_engine->degradation_events();
+    for (std::size_t i = degradations_before; i < events.size(); ++i) {
+      const DegradationEvent& ev = events[i];
+      obs::JsonWriter w;
+      w.begin_object()
+          .kv("type", "degradation")
+          .kv("schema", obs::kReportSchema)
+          .kv("from", ev.from)
+          .kv("to", ev.to)
+          .kv("reason", ev.reason)
+          .kv("predicted_bytes", static_cast<std::uint64_t>(ev.predicted_bytes))
+          .kv("budget_bytes", static_cast<std::uint64_t>(ev.budget_bytes))
+          .kv("at_prepare", ev.at_prepare)
+          .end_object();
+      options.reporter->write_line(w.str());
+    }
+  }
+
   if (options.reporter != nullptr) {
     obs::JsonWriter w;
     w.begin_object()
@@ -324,6 +427,9 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     for (mode_t n = 0; n < order; ++n) w.value(result.mttkrp_mode_seconds[n]);
     w.end_array();
     append_kernel_stats(w, result.kernel_stats);
+    w.kv("recoveries", result.recoveries)
+        .kv("ridge_retries", result.ridge_retries)
+        .kv("pseudo_inverse_solves", result.pseudo_inverse_solves);
     w.kv("engine_peak_memory_bytes",
          static_cast<std::uint64_t>(result.engine_peak_memory_bytes))
         .kv("predicted_seconds_per_iteration",

@@ -66,6 +66,13 @@ struct CpAlsOptions {
   /// Projected nonnegative ALS: clamp each factor update at zero before
   /// normalization (multilinear NMF-style decompositions for count data).
   bool nonnegative = false;
+  /// Numerical-recovery budget: when a factor update or the fit turns
+  /// non-finite (overflow, poisoned kernel output, NaN Gram matrix), the
+  /// offending factor is re-randomized from the run's RNG and the sweep
+  /// continues. After this many recoveries in one run a typed
+  /// mdcp::numeric_error is raised instead. 0 disables recovery (the first
+  /// non-finite update throws).
+  int max_recoveries = 5;
   bool verbose = false;
   /// Optional JSONL run reporter: when set, cp_als appends one "iteration"
   /// record per ALS iteration (fit, fit delta, per-mode MTTKRP seconds,
@@ -92,8 +99,16 @@ struct CpAlsResult {
   /// engines exploit.
   std::vector<double> mttkrp_mode_seconds;
 
+  // Numerical-recovery telemetry (see CpAlsOptions::max_recoveries and
+  // la/cholesky.hpp SolveInfo).
+  int recoveries = 0;             ///< factor re-randomizations taken
+  int ridge_retries = 0;          ///< escalating-λ Cholesky retries, all solves
+  int pseudo_inverse_solves = 0;  ///< solves that fell through to M·H⁺
+
   /// Engine-side counters for this run only (symbolic/numeric split, flops,
-  /// peak workspace scratch) — the delta of the engine's KernelStats.
+  /// peak workspace scratch) — the delta of the engine's KernelStats. Engine
+  /// fallbacks taken under a memory budget appear in
+  /// kernel_stats.degradations.
   KernelStats kernel_stats;
 
   /// Peak auxiliary memory of the engine (index structures + memoized value

@@ -77,6 +77,9 @@ void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
   const auto root_ptr = csf.fptr(0);
   const auto root_ids = csf.fids(0);
 
+  // Serial scratch acquisition: growth must not throw inside the region.
+  ws->reserve(num_threads(),
+              static_cast<std::size_t>(csf.order()) * r * sizeof(real_t));
 #pragma omp parallel
   {
     const Scratch s{
@@ -190,6 +193,8 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
     const sched::TilePlan& tp = sched::cached_tiles(
         si.owner, d.tiles,
         [&](int n) { return sched::tile_groups(si.root_nnz, n); });
+    // Serial scratch acquisition: growth must not throw inside the region.
+    ws.reserve(effective_threads(), acc_elems * sizeof(real_t));
 #pragma omp parallel
     {
       const Scratch s{ws.thread_scratch<real_t>(acc_elems), r};
@@ -207,6 +212,7 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
           return sched::tile_items_split(si.lvl1_nnz, root_ptr, n);
         });
     const nnz_t out_elems = static_cast<nnz_t>(csf.shape()[root_mode]) * r;
+    ws.reserve(effective_threads(), (out_elems + acc_elems) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {

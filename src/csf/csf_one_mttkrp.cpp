@@ -190,6 +190,9 @@ void CsfOneMttkrpEngine::do_compute(mode_t mode,
   const sched::TilePlan& tp1 = sched::cached_tiles(
       root_owner_, d1.tiles,
       [&](int n) { return sched::tile_groups(root_nnz_, n); });
+  // Serial scratch acquisition: growth must not throw inside the region.
+  ws.reserve(effective_threads(),
+             Scratch::reals(csf.order(), r) * sizeof(real_t));
 #pragma omp parallel
   {
     const Scratch s{ws.thread_scratch<real_t>(Scratch::reals(csf.order(), r)),
@@ -250,6 +253,7 @@ void CsfOneMttkrpEngine::do_compute(mode_t mode,
         plan.split, d2.tiles,
         [&](int n) { return sched::tile_groups_split(plan.row_start, n); });
     const nnz_t out_elems = static_cast<nnz_t>(csf.shape()[mode]) * r;
+    ws.reserve(effective_threads(), out_elems * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {

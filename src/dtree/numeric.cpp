@@ -106,6 +106,8 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
     const sched::TilePlan& tp = sched::cached_tiles(
         n.owner_tiles, d.tiles,
         [&](int nt) { return sched::tile_groups(n.red_ptr, nt); });
+    // Serial scratch acquisition: growth must not throw inside the region.
+    ws.reserve(num_threads(), rank * sizeof(real_t));
 #pragma omp parallel
     {
       const auto tmp = ws.thread_scratch<real_t>(rank);
@@ -123,6 +125,7 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
         n.split_tiles, d.tiles,
         [&](int nt) { return sched::tile_groups_split(n.red_ptr, nt); });
     const nnz_t out_elems = n.tuples * rank;
+    ws.reserve(num_threads(), (out_elems + rank) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {

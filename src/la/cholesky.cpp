@@ -2,20 +2,21 @@
 
 #include <cmath>
 
-#include "la/eigen.hpp"
 #include "la/blas.hpp"
+#include "la/eigen.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace mdcp {
 
-bool cholesky_factor(Matrix& a) {
+CholeskyStatus cholesky_factor_status(Matrix& a) {
   MDCP_CHECK(a.rows() == a.cols());
   const index_t n = a.rows();
   for (index_t j = 0; j < n; ++j) {
     real_t d = a(j, j);
     for (index_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
-    if (!(d > 0) || !std::isfinite(d)) return false;
+    if (!std::isfinite(d)) return CholeskyStatus::kNanInput;
+    if (!(d > 0)) return CholeskyStatus::kNotSpd;
     const real_t lj = std::sqrt(d);
     a(j, j) = lj;
     for (index_t i = j + 1; i < n; ++i) {
@@ -24,7 +25,11 @@ bool cholesky_factor(Matrix& a) {
       a(i, j) = s / lj;
     }
   }
-  return true;
+  return CholeskyStatus::kOk;
+}
+
+bool cholesky_factor(Matrix& a) {
+  return cholesky_factor_status(a) == CholeskyStatus::kOk;
 }
 
 void cholesky_solve_rows(const Matrix& l, Matrix& rhs_rows) {
@@ -48,16 +53,51 @@ void cholesky_solve_rows(const Matrix& l, Matrix& rhs_rows) {
   });
 }
 
-Matrix solve_normal_equations(const Matrix& h, const Matrix& m) {
+Matrix solve_normal_equations(const Matrix& h, const Matrix& m,
+                              SolveInfo* info) {
   MDCP_CHECK(h.rows() == h.cols());
   MDCP_CHECK(m.cols() == h.rows());
+  SolveInfo local;
+  SolveInfo& si = info != nullptr ? *info : local;
+  si = SolveInfo{};
+  const index_t n = h.rows();
+
   Matrix l = h;
-  if (cholesky_factor(l)) {
+  si.cholesky = cholesky_factor_status(l);
+  if (si.cholesky == CholeskyStatus::kOk) {
     Matrix x = m;
     cholesky_solve_rows(l, x);
     return x;
   }
-  // Rank-deficient H: use the Moore–Penrose pseudo-inverse.
+  if (si.cholesky == CholeskyStatus::kNanInput)
+    throw numeric_error(
+        "normal-equations Gram matrix contains non-finite values");
+
+  // Rank-deficient H: retry with an escalating ridge. λ is seeded relative
+  // to the mean diagonal so the perturbation scales with the problem; each
+  // failed retry escalates λ by 100×. A zero/negative trace means the ridge
+  // cannot restore positive-definiteness at a meaningful scale — go straight
+  // to the pseudo-inverse.
+  real_t trace = 0;
+  for (index_t i = 0; i < n; ++i) trace += h(i, i);
+  if (trace > 0) {
+    constexpr int kMaxRidgeRetries = 3;
+    real_t lambda = (trace / static_cast<real_t>(n)) * 1e-10;
+    for (int retry = 1; retry <= kMaxRidgeRetries; ++retry, lambda *= 100) {
+      Matrix lr = h;
+      for (index_t i = 0; i < n; ++i) lr(i, i) += lambda;
+      si.ridge_retries = retry;
+      if (cholesky_factor_status(lr) == CholeskyStatus::kOk) {
+        si.ridge_lambda = lambda;
+        Matrix x = m;
+        cholesky_solve_rows(lr, x);
+        return x;
+      }
+    }
+  }
+
+  // Last resort: the Moore–Penrose pseudo-inverse.
+  si.used_pseudo_inverse = true;
   const Matrix hp = pseudo_inverse(h);
   return multiply(m, hp);
 }

@@ -2,16 +2,35 @@
 //
 // Each sub-iteration solves U = M · H⁺ where H = ∘_{i≠n} (Uᵢᵀ Uᵢ) is R×R and
 // symmetric PSD. We attempt a Cholesky solve first (fast path); if H is
-// numerically rank-deficient we fall back to the Moore–Penrose pseudo-inverse
-// built from a Jacobi eigendecomposition — matching the ALS literature.
+// merely rank-deficient we retry with an escalating ridge λ·I (standard ALS
+// practice), then fall back to the Moore–Penrose pseudo-inverse built from a
+// Jacobi eigendecomposition. A non-finite H is a distinct, unrecoverable
+// condition — no amount of regularization repairs a NaN Gram matrix — so it
+// is reported as its own status and solve_normal_equations raises a typed
+// mdcp::numeric_error that the CP-ALS recovery path converts into a factor
+// restart.
 #pragma once
 
 #include "la/matrix.hpp"
 
 namespace mdcp {
 
+/// Outcome of a Cholesky factorization attempt. Distinguishes "H is not SPD"
+/// (recoverable: ridge or pseudo-inverse) from "H contains non-finite
+/// values" (unrecoverable by regularization: the caller must rebuild its
+/// inputs).
+enum class CholeskyStatus {
+  kOk = 0,
+  kNotSpd,    ///< a non-positive (but finite) pivot appeared
+  kNanInput,  ///< a pivot evaluated to NaN/Inf — the input is poisoned
+};
+
 /// In-place lower Cholesky factorization A = L·Lᵀ (only the lower triangle of
-/// the output is meaningful). Returns false if a non-positive pivot appears.
+/// the output is meaningful). On a non-kOk status the matrix is left
+/// partially factorized and must be discarded.
+CholeskyStatus cholesky_factor_status(Matrix& a);
+
+/// Back-compat predicate: cholesky_factor_status(a) == kOk.
 bool cholesky_factor(Matrix& a);
 
 /// Solves L·Lᵀ·x = b for each row b of `rhs_rows` (i.e. computes rhs·A⁻¹ for
@@ -19,8 +38,21 @@ bool cholesky_factor(Matrix& a);
 /// in place.
 void cholesky_solve_rows(const Matrix& l, Matrix& rhs_rows);
 
-/// Computes X = M · H⁺ robustly: Cholesky when H is SPD, pseudo-inverse
-/// otherwise. `h` is R×R symmetric, `m` is I×R. Returns X (I×R).
-Matrix solve_normal_equations(const Matrix& h, const Matrix& m);
+/// How solve_normal_equations obtained its result — consumed by the CP-ALS
+/// recovery accounting and the run reporter.
+struct SolveInfo {
+  CholeskyStatus cholesky = CholeskyStatus::kOk;  ///< first, un-ridged attempt
+  int ridge_retries = 0;     ///< escalating-λ retries performed
+  double ridge_lambda = 0;   ///< the λ that succeeded (0 = none needed)
+  bool used_pseudo_inverse = false;
+};
+
+/// Computes X = M · H⁺ robustly: Cholesky when H is SPD, escalating-ridge
+/// Cholesky when it is rank-deficient, pseudo-inverse as the last resort.
+/// `h` is R×R symmetric, `m` is I×R. Returns X (I×R); fills `*info` (when
+/// given) with the path taken. Throws mdcp::numeric_error if `h` is
+/// non-finite — see CholeskyStatus::kNanInput.
+Matrix solve_normal_equations(const Matrix& h, const Matrix& m,
+                              SolveInfo* info = nullptr);
 
 }  // namespace mdcp

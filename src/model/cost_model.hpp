@@ -26,6 +26,7 @@
 #include "dtree/dimension_tree.hpp"
 #include "model/sketch.hpp"
 #include "tensor/coo_tensor.hpp"
+#include "util/workspace.hpp"
 
 namespace mdcp {
 
@@ -73,6 +74,30 @@ StrategyPrediction predict_strategy(const CooTensor& tensor,
                                     const TreeSpec& spec, index_t rank,
                                     ProjectionCounter& counter,
                                     const CostModelParams& params = {});
+
+/// Coarse resident-footprint envelope for one of the fixed (non-dimension-
+/// tree) engines — the degradation-chain side of the model. Covers the
+/// engine's persistent structures (scatter plans, CSF tries, per-thread
+/// tuple copies) plus the worst-case transient the parallel schedule may
+/// claim (privatized partial-output slabs). `engine` is a registry name:
+/// "coo", "bcoo", "ttv-chain", "csf", or "csf1". A ProjectionCounter
+/// sharpens the CSF/scatter-plan estimates with distinct-prefix counts;
+/// without one, per-level fiber counts fall back to the nnz upper bound.
+/// `sched_mode` narrows the envelope: pinning owner-computes drops the
+/// privatized-slab term, which is how the AutoEngine keeps the last resorts
+/// of its chain viable under tight budgets.
+std::size_t predict_engine_footprint(
+    const CooTensor& tensor, const std::string& engine, index_t rank,
+    ProjectionCounter* counter = nullptr, const CostModelParams& params = {},
+    ScheduleMode sched_mode = ScheduleMode::kAuto);
+
+/// Coarse per-iteration time prediction for the same fixed engines, on the
+/// same α·flops + β·bytes scale as predict_strategy — comparable enough to
+/// rank the degradation chain against the dtree candidates. One CP-ALS
+/// iteration = one MTTKRP per mode.
+double predict_engine_seconds(const CooTensor& tensor,
+                              const std::string& engine, index_t rank,
+                              const CostModelParams& params = {});
 
 /// Fits `seconds_per_flop` by timing a small synthetic contraction probe on
 /// this machine; `seconds_per_byte` keeps the default machine-balance ratio.

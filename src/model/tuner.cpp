@@ -1,7 +1,10 @@
 #include "model/tuner.hpp"
 
 #include <algorithm>
+#include <new>
+#include <sstream>
 
+#include "mttkrp/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -94,28 +97,56 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
     ++probed;
     MDCP_TRACE_SPAN("tuner.probe", "candidate",
                     static_cast<std::int64_t>(i));
-    DTreeMttkrpEngine engine(report.ranked[i].strategy.spec,
-                             report.ranked[i].strategy.name, ctx);
-    engine.prepare(tensor, rank);
-    Matrix out;
-    // One warm sweep, then the minimum of two timed sweeps (the minimum is
-    // the least-noisy estimator of intrinsic cost on a shared host).
-    double candidate = -1;
-    for (int pass = 0; pass < 3; ++pass) {
-      WallTimer t;
-      for (mode_t m = 0; m < tensor.order(); ++m) {
-        engine.compute(m, factors, out);
-        engine.factor_updated(m);
+    try {
+      DTreeMttkrpEngine engine(report.ranked[i].strategy.spec,
+                               report.ranked[i].strategy.name, ctx);
+      engine.prepare(tensor, rank);
+      Matrix out;
+      // One warm sweep, then the minimum of two timed sweeps (the minimum is
+      // the least-noisy estimator of intrinsic cost on a shared host).
+      double candidate = -1;
+      for (int pass = 0; pass < 3; ++pass) {
+        WallTimer t;
+        for (mode_t m = 0; m < tensor.order(); ++m) {
+          engine.compute(m, factors, out);
+          engine.factor_updated(m);
+        }
+        const double secs = t.seconds();
+        if (pass > 0 && (candidate < 0 || secs < candidate)) candidate = secs;
       }
-      const double secs = t.seconds();
-      if (pass > 0 && (candidate < 0 || secs < candidate)) candidate = secs;
-    }
-    if (best_time < 0 || candidate < best_time) {
-      best_time = candidate;
-      best_idx = i;
+      if (best_time < 0 || candidate < best_time) {
+        best_time = candidate;
+        best_idx = i;
+      }
+    } catch (const budget_error&) {
+      // The model under-estimated this candidate's scratch: it tripped the
+      // arena budget mid-probe. Demote it so selection cannot pick it.
+      report.ranked[i].fits_budget = false;
+    } catch (const std::bad_alloc&) {
+      report.ranked[i].fits_budget = false;
     }
   }
   report.chosen = best_idx;
+  if (!report.ranked[report.chosen].fits_budget) {
+    // The probed winner (or its fallback) got demoted — re-run the static
+    // selection rule over the updated feasibility flags.
+    report.chosen = report.ranked.size();
+    for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+      if (report.ranked[i].fits_budget) {
+        report.chosen = i;
+        break;
+      }
+    }
+    if (report.chosen == report.ranked.size()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < report.ranked.size(); ++i) {
+        if (report.ranked[i].prediction.total_memory_bytes() <
+            report.ranked[best].prediction.total_memory_bytes())
+          best = i;
+      }
+      report.chosen = best;
+    }
+  }
   record_selection(report);  // re-publish: probing may move the winner
   return report;
 }
@@ -131,8 +162,14 @@ AutoEngine::AutoEngine(bool probed, std::size_t memory_budget_bytes,
 void AutoEngine::do_prepare(index_t rank) {
   MDCP_CHECK_MSG(rank > 0,
                  "the auto engine needs a rank hint: prepare(tensor, rank)");
+  // A budget may arrive through the constructor or through the context;
+  // honor the tighter of the two.
+  if (context().mem_budget != 0 &&
+      (memory_budget_bytes_ == 0 || context().mem_budget < memory_budget_bytes_))
+    memory_budget_bytes_ = context().mem_budget;
   KernelContext inner_ctx = context();
   inner_ctx.stats = nullptr;  // outer NVI already records totals
+  inner_ctx.mem_budget = memory_budget_bytes_;
   // Predict under the thread budget the kernels will actually run with, so
   // the privatization memory/flop terms participate in strategy ranking.
   if (params_.threads <= 1) params_.threads = effective_threads();
@@ -142,28 +179,158 @@ void AutoEngine::do_prepare(index_t rank) {
                     : select_strategy(tensor(), rank, memory_budget_bytes_,
                                       params_);
   const auto& win = report_.winner();
-  const std::string label =
-      (probed_ ? "auto+probe:" : "auto:") + win.strategy.name;
-  inner_ = std::make_unique<DTreeMttkrpEngine>(win.strategy.spec, label,
-                                               inner_ctx);
-  inner_->prepare(tensor(), rank);
+  const char* prefix = probed_ ? "auto+probe:" : "auto:";
+
+  // Plan the degradation chain: the dtree winner first, then (under a
+  // budget) the fixed fallbacks in decreasing-speed order. Fallbacks whose
+  // privatized-schedule envelope alone blows the budget are retried with
+  // owner-computes pinned before being ruled out.
+  chain_.clear();
+  chain_pos_ = 0;
+  ChainEntry head;
+  head.engine = "";
+  head.label = prefix + win.strategy.name;
+  head.predicted_bytes = win.prediction.total_memory_bytes();
+  head.fits_budget = win.fits_budget;
+  chain_.push_back(std::move(head));
+
+  if (memory_budget_bytes_ != 0) {
+    ProjectionCounter counter(tensor());
+    for (const char* fallback : {"ttv-chain", "csf", "coo"}) {
+      ChainEntry e;
+      e.engine = fallback;
+      e.label = std::string(prefix) + fallback;
+      e.predicted_bytes = predict_engine_footprint(
+          tensor(), fallback, rank, &counter, params_, ScheduleMode::kAuto);
+      e.fits_budget = e.predicted_bytes <= memory_budget_bytes_;
+      if (!e.fits_budget) {
+        const std::size_t owner_bytes = predict_engine_footprint(
+            tensor(), fallback, rank, &counter, params_, ScheduleMode::kOwner);
+        if (owner_bytes <= memory_budget_bytes_) {
+          e.predicted_bytes = owner_bytes;
+          e.fits_budget = true;
+          e.forced_sched = ScheduleMode::kOwner;
+        }
+      }
+      chain_.push_back(std::move(e));
+    }
+  }
+
+  // Start at the first level the model predicts in budget, recording every
+  // skip. If no level fits, run the last (cheapest) one anyway — the arena
+  // budget still backstops it at run time.
+  while (chain_pos_ + 1 < chain_.size() && !chain_[chain_pos_].fits_budget) {
+    note_degradation(chain_pos_, chain_pos_ + 1, "predicted-over-budget",
+                     /*at_prepare=*/true);
+    ++chain_pos_;
+  }
+  build_inner(rank);
+}
+
+ScheduleMode AutoEngine::effective_inner_sched() const noexcept {
+  // An explicit caller override always wins; otherwise the chain entry may
+  // pin owner-computes to keep its footprint inside the budget.
+  return context().sched != ScheduleMode::kAuto
+             ? context().sched
+             : chain_[chain_pos_].forced_sched;
+}
+
+void AutoEngine::build_inner(index_t rank) {
+  KernelContext inner_ctx = context();
+  inner_ctx.stats = nullptr;
+  inner_ctx.mem_budget = memory_budget_bytes_;
+  for (;;) {
+    const ChainEntry& entry = chain_[chain_pos_];
+    KernelContext ctx = inner_ctx;
+    ctx.sched = effective_inner_sched();
+    try {
+      if (entry.engine.empty()) {
+        const auto& win = report_.winner();
+        inner_ = std::make_unique<DTreeMttkrpEngine>(win.strategy.spec,
+                                                     entry.label, ctx);
+      } else {
+        inner_ = make_engine(entry.engine, ctx);
+      }
+      inner_->prepare(tensor(), rank);
+      return;
+    } catch (const budget_error&) {
+      if (chain_pos_ + 1 >= chain_.size()) throw;
+      note_degradation(chain_pos_, chain_pos_ + 1, "budget-exceeded",
+                       /*at_prepare=*/false);
+      ++chain_pos_;
+    } catch (const std::bad_alloc&) {
+      if (chain_pos_ + 1 >= chain_.size()) {
+        std::ostringstream os;
+        os << "allocation failed preparing engine '" << entry.label
+           << "' and the degradation chain is exhausted";
+        throw budget_error(os.str(), entry.predicted_bytes,
+                           memory_budget_bytes_);
+      }
+      note_degradation(chain_pos_, chain_pos_ + 1, "alloc-failure",
+                       /*at_prepare=*/false);
+      ++chain_pos_;
+    }
+  }
+}
+
+void AutoEngine::note_degradation(std::size_t from, std::size_t to,
+                                  const char* reason, bool at_prepare) {
+  MDCP_TRACE_SPAN("engine.degradation", "level",
+                  static_cast<std::int64_t>(to));
+  DegradationEvent ev;
+  ev.from = chain_[from].label;
+  ev.to = chain_[to].label;
+  ev.reason = reason;
+  ev.predicted_bytes = chain_[from].predicted_bytes;
+  ev.budget_bytes = memory_budget_bytes_;
+  ev.at_prepare = at_prepare;
+  degradations_.push_back(std::move(ev));
+  record_degradation(reason);
+  if (inner_)
+    retired_peak_bytes_ =
+        std::max(retired_peak_bytes_, inner_->peak_memory_bytes());
 }
 
 void AutoEngine::do_compute(mode_t mode, const std::vector<Matrix>& factors,
                             Matrix& out) {
-  const KernelStats before = inner_->stats();
-  inner_->context().sched = context().sched;  // forward late overrides
-  inner_->compute(mode, factors, out);
-  const KernelStats& after = inner_->stats();
-  count_flops(after.flops - before.flops);
-  if (after.last_schedule != 255) {
-    // Mirror the inner engine's schedule telemetry into this engine's
-    // KernelStats; the inner launches already bumped the global metrics.
-    record_schedule({static_cast<sched::Schedule>(after.last_schedule),
-                     after.last_tiles, 0.0, 0, after.last_sched_reason},
-                    after.owner_launches - before.owner_launches,
-                    after.privatized_launches - before.privatized_launches,
-                    /*bump_metrics=*/false);
+  for (;;) {
+    const KernelStats before = inner_->stats();
+    inner_->context().sched = effective_inner_sched();  // forward overrides
+    try {
+      inner_->compute(mode, factors, out);
+    } catch (const budget_error&) {
+      if (chain_pos_ + 1 >= chain_.size()) throw;
+      note_degradation(chain_pos_, chain_pos_ + 1, "budget-exceeded",
+                       /*at_prepare=*/false);
+      ++chain_pos_;
+      build_inner(rank_hint());
+      continue;
+    } catch (const std::bad_alloc&) {
+      if (chain_pos_ + 1 >= chain_.size()) {
+        std::ostringstream os;
+        os << "allocation failed in engine '" << chain_[chain_pos_].label
+           << "' and the degradation chain is exhausted";
+        throw budget_error(os.str(), chain_[chain_pos_].predicted_bytes,
+                           memory_budget_bytes_);
+      }
+      note_degradation(chain_pos_, chain_pos_ + 1, "alloc-failure",
+                       /*at_prepare=*/false);
+      ++chain_pos_;
+      build_inner(rank_hint());
+      continue;
+    }
+    const KernelStats& after = inner_->stats();
+    count_flops(after.flops - before.flops);
+    if (after.last_schedule != 255) {
+      // Mirror the inner engine's schedule telemetry into this engine's
+      // KernelStats; the inner launches already bumped the global metrics.
+      record_schedule({static_cast<sched::Schedule>(after.last_schedule),
+                       after.last_tiles, 0.0, 0, after.last_sched_reason},
+                      after.owner_launches - before.owner_launches,
+                      after.privatized_launches - before.privatized_launches,
+                      /*bump_metrics=*/false);
+    }
+    return;
   }
 }
 
@@ -185,7 +352,8 @@ std::size_t AutoEngine::memory_bytes() const {
 }
 
 std::size_t AutoEngine::peak_memory_bytes() const {
-  return inner_ ? inner_->peak_memory_bytes() : 0;
+  return std::max(retired_peak_bytes_,
+                  inner_ ? inner_->peak_memory_bytes() : 0);
 }
 
 std::unique_ptr<MttkrpEngine> make_auto_engine(const CooTensor& tensor,

@@ -30,6 +30,21 @@ struct TunerReport {
   const RankedStrategy& winner() const { return ranked[chosen]; }
 };
 
+/// One fallback taken by the AutoEngine's degradation chain: a predicted or
+/// actual allocation exceeded the memory budget, so execution moved to a
+/// cheaper engine instead of dying.
+struct DegradationEvent {
+  std::string from;  ///< engine label degraded away from
+  std::string to;    ///< engine label degraded to
+  /// "predicted-over-budget" (model, at prepare), "budget-exceeded"
+  /// (workspace arena tripped the budget at run time), or "alloc-failure"
+  /// (std::bad_alloc — real or injected).
+  const char* reason = "";
+  std::size_t predicted_bytes = 0;  ///< footprint of the abandoned engine
+  std::size_t budget_bytes = 0;     ///< budget in force (0 = unlimited)
+  bool at_prepare = false;          ///< true = model-predicted, before any run
+};
+
 /// Ranks all candidate strategies for `tensor` at `rank`.
 /// `memory_budget_bytes` bounds symbolic + peak value memory (0 = unlimited);
 /// if nothing fits, the minimum-memory strategy is chosen and flagged.
@@ -54,6 +69,17 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
 /// is rank-dependent), optionally probes the shortlist, then builds and
 /// prepares the winning dimension-tree engine. name() reports
 /// "auto:<strategy>" (or "auto+probe:<strategy>") once prepared.
+///
+/// Under a memory budget (KernelContext::mem_budget or the constructor
+/// argument) the engine also plans a degradation chain: the dtree winner,
+/// then the fixed fallbacks ttv-chain → csf → coo, each annotated with its
+/// predicted footprint. Levels the model predicts over budget are skipped up
+/// front ("predicted-over-budget"); a budget_error or bad_alloc escaping the
+/// active level at prepare or compute time advances the chain and retries
+/// ("budget-exceeded" / "alloc-failure"). Every fallback is recorded as a
+/// DegradationEvent, mirrored into KernelStats.degradations, the
+/// "engine.degradations" metric, and a trace span. Only when the last level
+/// also fails does a typed mdcp::budget_error escape.
 class AutoEngine final : public MttkrpEngine {
  public:
   explicit AutoEngine(bool probed = false, std::size_t memory_budget_bytes = 0,
@@ -69,18 +95,49 @@ class AutoEngine final : public MttkrpEngine {
   /// The tuner's full ranking from the last prepare().
   const TunerReport& report() const { return report_; }
 
+  /// One level of the planned degradation chain.
+  struct ChainEntry {
+    std::string engine;  ///< registry name; "" = the winning dtree strategy
+    std::string label;   ///< display name ("auto:…")
+    std::size_t predicted_bytes = 0;  ///< model footprint for this level
+    bool fits_budget = true;
+    /// Schedule pinned for this level when the privatized envelope alone
+    /// would blow the budget (kAuto = no pin).
+    ScheduleMode forced_sched = ScheduleMode::kAuto;
+  };
+
+  /// The chain planned by the last prepare(): winner first, then in-order
+  /// fallbacks (present only when a budget is set).
+  const std::vector<ChainEntry>& chain() const noexcept { return chain_; }
+  /// Index into chain() of the level currently executing.
+  std::size_t chain_position() const noexcept { return chain_pos_; }
+  /// Every fallback taken since construction (prepare- and run-time), in
+  /// order. Callers that report incrementally should keep their own cursor.
+  const std::vector<DegradationEvent>& degradation_events() const noexcept {
+    return degradations_;
+  }
+
  protected:
   void do_prepare(index_t rank) override;
   void do_compute(mode_t mode, const std::vector<Matrix>& factors,
                   Matrix& out) override;
 
  private:
+  void build_inner(index_t rank);
+  void note_degradation(std::size_t from, std::size_t to, const char* reason,
+                        bool at_prepare);
+  ScheduleMode effective_inner_sched() const noexcept;
+
   bool probed_;
   std::size_t memory_budget_bytes_;
   CostModelParams params_;
   int shortlist_;
   TunerReport report_;
-  std::unique_ptr<DTreeMttkrpEngine> inner_;
+  std::vector<ChainEntry> chain_;
+  std::size_t chain_pos_ = 0;
+  std::vector<DegradationEvent> degradations_;
+  std::size_t retired_peak_bytes_ = 0;  ///< peaks of degraded-away engines
+  std::unique_ptr<MttkrpEngine> inner_;
 };
 
 /// Builds the engine the tuner selected. name() reports

@@ -169,6 +169,8 @@ void BlockedCooEngine::do_compute(mode_t mode,
     const sched::TilePlan& tp = sched::cached_tiles(
         plan.owner, d.tiles,
         [&](int n) { return sched::tile_groups(plan.group_nnz, n); });
+    // Serial scratch acquisition: growth must not throw inside the region.
+    ws.reserve(effective_threads(), r * sizeof(real_t));
 #pragma omp parallel
     {
       const auto tmp = ws.thread_scratch<real_t>(r);
@@ -188,6 +190,7 @@ void BlockedCooEngine::do_compute(mode_t mode,
           return sched::tile_items_split(plan.block_nnz, plan.group_start, n);
         });
     const nnz_t out_elems = static_cast<nnz_t>(shape_[mode]) * r;
+    ws.reserve(effective_threads(), (out_elems + r) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {

@@ -90,6 +90,10 @@ void CooMttkrpEngine::do_compute(mode_t mode,
     const sched::TilePlan& tp = sched::cached_tiles(
         plan.owner, d.tiles,
         [&](int n) { return sched::tile_groups(plan.row_start, n); });
+    // Scratch is acquired serially, up front: a budget trip or allocation
+    // failure inside the parallel region could not propagate (an exception
+    // escaping an OpenMP structured block terminates).
+    ws.reserve(effective_threads(), r * sizeof(real_t));
 #pragma omp parallel
     {
       const auto tmp = ws.thread_scratch<real_t>(r);
@@ -106,6 +110,7 @@ void CooMttkrpEngine::do_compute(mode_t mode,
         plan.split, d.tiles,
         [&](int n) { return sched::tile_groups_split(plan.row_start, n); });
     const nnz_t out_elems = static_cast<nnz_t>(t.dim(mode)) * r;
+    ws.reserve(effective_threads(), (out_elems + r) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {

@@ -1,11 +1,13 @@
 #include "mttkrp/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -55,6 +57,11 @@ obs::Counter& privatized_launches_metric() {
       obs::MetricsRegistry::instance().counter("sched.privatized_launches");
   return c;
 }
+obs::Counter& degradations_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("engine.degradations");
+  return c;
+}
 
 }  // namespace
 
@@ -65,6 +72,10 @@ MttkrpEngine::MttkrpEngine(KernelContext ctx) : ctx_(ctx) {
 void MttkrpEngine::prepare(const CooTensor& tensor, index_t rank) {
   tensor_ = &tensor;
   rank_hint_ = rank;
+  // The context budget governs this execution: install it on the arena so
+  // over-budget scratch growth fails as a typed budget_error instead of an
+  // unbounded allocation.
+  if (ctx_.mem_budget != 0) ctx_.workspace->set_budget_bytes(ctx_.mem_budget);
   WallTimer timer;
   {
     MDCP_TRACE_SPAN(("prepare:" + name()).c_str(), "rank",
@@ -99,6 +110,11 @@ void MttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
                                 static_cast<std::int64_t>(mode));
     ThreadScope scope(ctx_.threads);
     do_compute(mode, factors, out);
+    // Fault-injection site: poison the kernel output with a quiet NaN so the
+    // CP-ALS numerical-recovery path can be exercised deterministically.
+    // Compiled to nothing without MDCP_ENABLE_FAULTINJECT.
+    if (fault::should_inject(fault::Site::kNan) && out.size() > 0)
+      out(0, 0) = std::numeric_limits<real_t>::quiet_NaN();
   }
   const double secs = timer.seconds();
   stats_.numeric_seconds += secs;
@@ -154,6 +170,16 @@ void MttkrpEngine::record_schedule(const sched::Decision& d,
   };
   update(stats_);
   if (ctx_.stats != nullptr) update(*ctx_.stats);
+}
+
+void MttkrpEngine::record_degradation(const char* reason) noexcept {
+  ++stats_.degradations;
+  stats_.last_degradation_reason = reason;
+  degradations_metric().add();
+  if (ctx_.stats != nullptr) {
+    ++ctx_.stats->degradations;
+    ctx_.stats->last_degradation_reason = reason;
+  }
 }
 
 int MttkrpEngine::effective_threads() const noexcept {

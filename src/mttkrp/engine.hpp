@@ -115,6 +115,12 @@ class MttkrpEngine {
                        std::uint64_t privatized_launches,
                        bool bump_metrics = true) noexcept;
 
+  /// Records one degradation-chain fallback (see model/tuner.hpp) into the
+  /// stats sinks and the "engine.degradations" metric. `reason` must be a
+  /// static string ("predicted-over-budget", "budget-exceeded",
+  /// "alloc-failure").
+  void record_degradation(const char* reason) noexcept;
+
   /// Schedule override from the context (kAuto = per-mode heuristic).
   ScheduleMode schedule_mode() const noexcept { return ctx_.sched; }
 

@@ -1,10 +1,15 @@
 #include "tensor/tensor_io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 
 namespace mdcp {
 
@@ -15,43 +20,127 @@ struct ParsedLine {
   real_t value = 0;
 };
 
-// Parses "i1 i2 ... iN v"; returns false for blank/comment lines.
-bool parse_line(const std::string& line, ParsedLine& out) {
-  std::size_t pos = line.find_first_not_of(" \t\r");
-  if (pos == std::string::npos || line[pos] == '#') return false;
-  std::istringstream is(line);
-  out.coords.clear();
-  std::vector<double> fields;
-  double x;
-  while (is >> x) fields.push_back(x);
-  MDCP_CHECK_MSG(fields.size() >= 2,
-                 "malformed .tns line (needs >=1 index + value): " << line);
-  for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
-    MDCP_CHECK_MSG(fields[i] >= 1, "1-based .tns index must be >= 1");
-    out.coords.push_back(static_cast<index_t>(fields[i]) - 1);
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& what,
+                            const std::string& line) {
+  std::ostringstream os;
+  os << ".tns line " << line_no << ": " << what << " in \"" << line << "\"";
+  throw parse_error(os.str(), line_no);
+}
+
+// Field-checked parse of "i1 i2 ... iN v". Returns false for blank/comment
+// lines; throws a line-numbered parse_error on malformed content. Unlike a
+// stream-extraction loop, this validates every token end-to-end: trailing
+// garbage, fractional or overflowing indices, and non-numeric values are all
+// errors instead of silent truncation.
+bool parse_line(const std::string& line, std::size_t line_no,
+                ParsedLine& out) {
+  const char* p = line.c_str();
+  const auto skip_ws = [&p] {
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  };
+  skip_ws();
+  if (*p == '\0' || *p == '#') return false;
+
+  struct Token {
+    const char* begin;
+    const char* end;
+  };
+  std::vector<Token> tokens;
+  while (*p != '\0') {
+    const char* start = p;
+    while (*p != '\0' && *p != ' ' && *p != '\t' && *p != '\r') ++p;
+    tokens.push_back({start, p});
+    skip_ws();
   }
-  out.value = static_cast<real_t>(fields.back());
+  if (tokens.size() < 2)
+    fail_line(line_no, "truncated record (needs >=1 index + value)", line);
+
+  out.coords.clear();
+  constexpr unsigned long long kMaxIndex =
+      static_cast<unsigned long long>(std::numeric_limits<index_t>::max());
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.begin, &end, 10);
+    if (end != tok.end || end == tok.begin)
+      fail_line(line_no, "non-integer index token", line);
+    // v itself must fit index_t (not just v-1): the inferred shape stores
+    // max(index)+1, which must not wrap.
+    if (errno == ERANGE || v < 1 || static_cast<unsigned long long>(v) > kMaxIndex)
+      fail_line(line_no, "index out of range (must be 1-based and fit "
+                         "the 32-bit index type)",
+                line);
+    out.coords.push_back(static_cast<index_t>(v - 1));
+  }
+
+  const Token& vtok = tokens.back();
+  errno = 0;
+  char* vend = nullptr;
+  const double value = std::strtod(vtok.begin, &vend);
+  if (vend != vtok.end || vend == vtok.begin)
+    fail_line(line_no, "non-numeric value token", line);
+  if (!std::isfinite(value))
+    fail_line(line_no, "non-finite value", line);
+  out.value = static_cast<real_t>(value);
   return true;
 }
 
 }  // namespace
 
-CooTensor read_tns(std::istream& in, const shape_t& shape_hint) {
+CooTensor read_tns(std::istream& in, const shape_t& shape_hint,
+                   const TnsReadOptions& opts, TnsReadStats* stats) {
+  TnsReadStats local;
+  TnsReadStats& st = stats != nullptr ? *stats : local;
+  st = TnsReadStats{};
+
   std::vector<ParsedLine> lines;
   std::string line;
   ParsedLine parsed;
   std::size_t arity = 0;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
-    if (!parse_line(line, parsed)) continue;
+    ++line_no;
+    st.lines_read = line_no;
+    // Fault-injection site: simulate a short read (io.lines=N) by ending the
+    // stream after N lines; downstream sees an ordinary shorter tensor.
+    if (fault::should_inject(fault::Site::kIo, line_no)) {
+      st.truncated = true;
+      break;
+    }
+    bool is_record = false;
+    try {
+      is_record = parse_line(line, line_no, parsed);
+    } catch (const parse_error&) {
+      if (opts.strict) throw;
+      ++st.skipped_malformed;
+      continue;
+    }
+    if (!is_record) continue;
     if (arity == 0) {
       arity = parsed.coords.size();
-    } else {
-      MDCP_CHECK_MSG(parsed.coords.size() == arity,
-                     "inconsistent arity in .tns stream");
+    } else if (parsed.coords.size() != arity) {
+      if (opts.strict) {
+        std::ostringstream os;
+        os << ".tns line " << line_no << ": record has "
+           << parsed.coords.size() << " indices, expected " << arity;
+        throw parse_error(os.str(), line_no);
+      }
+      ++st.skipped_malformed;
+      continue;
+    }
+    if (!shape_hint.empty()) {
+      if (shape_hint.size() != parsed.coords.size())
+        fail_line(line_no, "record arity does not match the shape hint", line);
+      for (std::size_t m = 0; m < parsed.coords.size(); ++m) {
+        if (parsed.coords[m] >= shape_hint[m])
+          fail_line(line_no, "index exceeds the shape hint", line);
+      }
     }
     lines.push_back(parsed);
   }
-  MDCP_CHECK_MSG(arity > 0, ".tns stream contains no nonzeros");
+  if (arity == 0) throw parse_error(".tns stream contains no nonzeros");
+  st.records = lines.size();
 
   shape_t shape = shape_hint;
   if (shape.empty()) {
@@ -69,10 +158,11 @@ CooTensor read_tns(std::istream& in, const shape_t& shape_hint) {
   return t;
 }
 
-CooTensor read_tns_file(const std::string& path, const shape_t& shape_hint) {
+CooTensor read_tns_file(const std::string& path, const shape_t& shape_hint,
+                        const TnsReadOptions& opts, TnsReadStats* stats) {
   std::ifstream f(path);
   MDCP_CHECK_MSG(f.good(), "cannot open tensor file: " << path);
-  return read_tns(f, shape_hint);
+  return read_tns(f, shape_hint, opts, stats);
 }
 
 void write_tns(std::ostream& out, const CooTensor& tensor) {

@@ -1,6 +1,7 @@
 // Error-reporting helpers: fail fast with a precise message instead of UB.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,37 @@ namespace mdcp {
 class error : public std::runtime_error {
  public:
   explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A memory-budget violation: an allocation (workspace slab growth, engine
+/// structure) would push the footprint past the configured budget. Carries
+/// the numbers so callers — the AutoEngine degradation chain in particular —
+/// can react without parsing the message.
+class budget_error : public error {
+ public:
+  budget_error(const std::string& what_arg, std::size_t requested,
+               std::size_t budget)
+      : error(what_arg), requested_bytes(requested), budget_bytes(budget) {}
+
+  std::size_t requested_bytes = 0;  ///< footprint the allocation needed
+  std::size_t budget_bytes = 0;     ///< configured limit it violated
+};
+
+/// A malformed input stream (tensor files, specs). Carries the 1-based line
+/// number of the offending record (0 when not line-addressable).
+class parse_error : public error {
+ public:
+  explicit parse_error(const std::string& what_arg, std::size_t line_no = 0)
+      : error(what_arg), line(line_no) {}
+
+  std::size_t line = 0;
+};
+
+/// An unrecoverable numerical fault: CP-ALS exhausted its bounded recovery
+/// budget (NaN/Inf kept reappearing) and refuses to return garbage.
+class numeric_error : public error {
+ public:
+  explicit numeric_error(const std::string& what_arg) : error(what_arg) {}
 };
 
 namespace detail {

@@ -1,0 +1,165 @@
+#include "util/faultinject.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mdcp::fault {
+
+const char* site_name(Site s) noexcept {
+  switch (s) {
+    case Site::kAlloc: return "alloc";
+    case Site::kNan: return "nan";
+    case Site::kIo: return "io";
+  }
+  return "?";
+}
+
+namespace {
+
+Site site_from_name(const std::string& name) {
+  for (int i = 0; i < kSiteCount; ++i) {
+    const Site s = static_cast<Site>(i);
+    if (name == site_name(s)) return s;
+  }
+  throw error("fault spec names unknown site '" + name +
+              "' (known: alloc, nan, io)");
+}
+
+std::uint64_t parse_u64(const std::string& tok, const std::string& clause) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0')
+    throw error("fault spec clause '" + clause + "' has a non-numeric value");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::instance() {
+  static FaultPlan plan;  // non-copyable (atomic counters): arm in place
+  static const bool env_armed = [] {
+#if MDCP_ENABLE_FAULTINJECT
+    if (const char* spec = std::getenv("MDCP_FAULTINJECT");
+        spec != nullptr && spec[0] != '\0') {
+      plan.parse_spec(spec);
+    }
+#endif
+    return true;
+  }();
+  (void)env_armed;
+  return plan;
+}
+
+void FaultPlan::arm(Site site, const SiteConfig& cfg) noexcept {
+  SiteState& st = sites_[static_cast<int>(site)];
+  st.cfg = cfg;
+  st.visits.store(0, std::memory_order_relaxed);
+  st.injected.store(0, std::memory_order_relaxed);
+  const std::uint32_t bit = 1u << static_cast<int>(site);
+  if (cfg.armed())
+    armed_sites_.fetch_or(bit, std::memory_order_relaxed);
+  else
+    armed_sites_.fetch_and(~bit, std::memory_order_relaxed);
+}
+
+void FaultPlan::parse_spec(const std::string& spec) {
+  // Accumulate per-site configs first so "nan.nth=2;nan.limit=1" composes,
+  // then arm in one shot per touched site (resetting its counters).
+  SiteConfig cfgs[kSiteCount];
+  bool touched[kSiteCount] = {};
+  for (int i = 0; i < kSiteCount; ++i) cfgs[i] = config(static_cast<Site>(i));
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t dot = clause.find('.');
+    const std::size_t eq = clause.find('=');
+    if (dot == std::string::npos || eq == std::string::npos || eq < dot)
+      throw error("fault spec clause '" + clause +
+                  "' is not of the form site.key=value");
+    const Site site = site_from_name(clause.substr(0, dot));
+    const std::string key = clause.substr(dot + 1, eq - dot - 1);
+    const std::uint64_t value = parse_u64(clause.substr(eq + 1), clause);
+
+    SiteConfig& cfg = cfgs[static_cast<int>(site)];
+    if (key == "nth") {
+      cfg.nth = value;
+    } else if (key == "every") {
+      cfg.every = value;
+    } else if (key == "limit") {
+      cfg.limit = value;
+    } else if (key == "bytes" || key == "lines") {
+      cfg.threshold = value;
+    } else {
+      throw error("fault spec clause '" + clause + "' has unknown key '" +
+                  key + "' (known: nth, every, limit, bytes, lines)");
+    }
+    touched[static_cast<int>(site)] = true;
+  }
+  for (int i = 0; i < kSiteCount; ++i)
+    if (touched[i]) arm(static_cast<Site>(i), cfgs[i]);
+}
+
+void FaultPlan::reset() noexcept {
+  for (int i = 0; i < kSiteCount; ++i) arm(static_cast<Site>(i), SiteConfig{});
+}
+
+bool FaultPlan::should_inject(Site site, std::uint64_t measure) noexcept {
+  SiteState& st = sites_[static_cast<int>(site)];
+  const SiteConfig& cfg = st.cfg;
+  if (!cfg.armed()) return false;
+
+  const std::uint64_t visit =
+      st.visits.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  bool fire = false;
+  if (cfg.nth != 0) {
+    if (visit == cfg.nth) {
+      fire = true;
+    } else if (cfg.every != 0 && visit > cfg.nth &&
+               (visit - cfg.nth) % cfg.every == 0) {
+      fire = true;
+    }
+  }
+  if (!fire && cfg.threshold != 0 && measure > cfg.threshold) fire = true;
+  if (!fire) return false;
+
+  if (cfg.limit != 0) {
+    // Claim an injection slot; back off once the budget is exhausted.
+    std::uint64_t used = st.injected.load(std::memory_order_relaxed);
+    do {
+      if (used >= cfg.limit) return false;
+    } while (!st.injected.compare_exchange_weak(used, used + 1,
+                                                std::memory_order_relaxed));
+    return true;
+  }
+  st.injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+SiteConfig FaultPlan::config(Site site) const noexcept {
+  return sites_[static_cast<int>(site)].cfg;
+}
+
+std::uint64_t FaultPlan::visits(Site site) const noexcept {
+  return sites_[static_cast<int>(site)].visits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::injected(Site site) const noexcept {
+  return sites_[static_cast<int>(site)].injected.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::injected_total() const noexcept {
+  std::uint64_t n = 0;
+  for (int i = 0; i < kSiteCount; ++i) n += injected(static_cast<Site>(i));
+  return n;
+}
+
+}  // namespace mdcp::fault

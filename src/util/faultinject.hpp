@@ -1,0 +1,141 @@
+// Deterministic fault-injection harness for robustness testing.
+//
+// Production code is sprinkled with *injection sites* — the workspace
+// allocator, the kernel-output path, the tensor reader — that consult a
+// process-wide FaultPlan before doing their real work. A plan arms a site
+// with a deterministic trigger (fire on the nth visit, fire past a byte
+// threshold, fire every k visits after that) so a ctest run can replay the
+// exact same failure schedule every time. Plans come from the
+// MDCP_FAULTINJECT environment variable or from the programmatic API.
+//
+// The whole harness is compiled behind MDCP_ENABLE_FAULTINJECT. When the
+// flag is off (the default), `armed()` is a constexpr false and every
+// `should_inject` call folds away — production binaries carry zero cost and
+// zero behavior change. The FaultPlan class itself stays declared either
+// way so tests can reference it under #if without shims.
+//
+// Spec grammar (environment variable MDCP_FAULTINJECT or parse_spec()):
+//
+//   spec    := clause (';' clause)*
+//   clause  := site '.' key '=' value
+//   site    := 'alloc' | 'nan' | 'io'
+//   key     := 'nth'    fire on the nth visit to the site (1-based)
+//            | 'every'  after the first firing, fire on every k-th visit
+//            | 'limit'  stop injecting after this many faults (0 = unlimited)
+//            | 'bytes'  alloc only: fail any growth past this total footprint
+//            | 'lines'  io only: truncate the stream after this many lines
+//
+//   MDCP_FAULTINJECT="alloc.nth=3"            fail the 3rd workspace growth
+//   MDCP_FAULTINJECT="alloc.bytes=1048576"    fail growth past 1 MiB total
+//   MDCP_FAULTINJECT="nan.nth=2;nan.limit=1"  poison the 2nd kernel output
+//   MDCP_FAULTINJECT="io.lines=10"            short-read after 10 tns lines
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#ifndef MDCP_ENABLE_FAULTINJECT
+#define MDCP_ENABLE_FAULTINJECT 0
+#endif
+
+namespace mdcp::fault {
+
+/// Injection sites compiled into the library.
+enum class Site : int {
+  kAlloc = 0,  ///< Workspace slab growth (throws std::bad_alloc when fired)
+  kNan = 1,    ///< MTTKRP kernel output (poisons out(0,0) with a quiet NaN)
+  kIo = 2,     ///< .tns reader (truncates the stream mid-record)
+};
+inline constexpr int kSiteCount = 3;
+
+/// Stable spec/site spelling ("alloc", "nan", "io").
+const char* site_name(Site s) noexcept;
+
+/// Deterministic trigger for one site. All-zero = disarmed.
+struct SiteConfig {
+  std::uint64_t nth = 0;    ///< fire on this visit number (1-based); 0 = off
+  std::uint64_t every = 0;  ///< re-fire period after the first hit; 0 = once
+  std::uint64_t limit = 0;  ///< max injections (0 = unlimited)
+  /// kAlloc: fail any growth that would push the workspace total past this
+  /// many bytes. kIo: truncate after this many input lines. Unused for kNan.
+  std::uint64_t threshold = 0;
+
+  bool armed() const noexcept { return nth != 0 || threshold != 0; }
+};
+
+/// Process-wide fault schedule with per-site visit/injection accounting.
+/// should_inject() is safe from any thread (atomic counters); configuration
+/// calls are meant for test setup, outside parallel regions.
+class FaultPlan {
+ public:
+  /// The global plan. On first access, arms itself from the MDCP_FAULTINJECT
+  /// environment variable (no-op when unset or when the harness is compiled
+  /// out).
+  static FaultPlan& instance();
+
+  FaultPlan() = default;
+
+  /// Arms `site` with `cfg`, resetting its counters.
+  void arm(Site site, const SiteConfig& cfg) noexcept;
+
+  /// Parses the spec grammar above and arms the named sites. Throws
+  /// mdcp::error on a malformed spec.
+  void parse_spec(const std::string& spec);
+
+  /// Disarms every site and zeroes all counters.
+  void reset() noexcept;
+
+  /// Visit `site` and decide whether the scheduled fault fires now.
+  /// `measure` feeds the site's threshold trigger: the prospective total
+  /// footprint for kAlloc, the line number for kIo; pass 0 when the site has
+  /// no threshold semantics. Always false when the harness is compiled out
+  /// or the site is disarmed.
+  bool should_inject(Site site, std::uint64_t measure = 0) noexcept;
+
+  /// True if any site is armed (cheap: one relaxed load).
+  bool armed() const noexcept {
+    return armed_sites_.load(std::memory_order_relaxed) != 0;
+  }
+
+  SiteConfig config(Site site) const noexcept;
+  std::uint64_t visits(Site site) const noexcept;
+  std::uint64_t injected(Site site) const noexcept;
+  /// Total injections across all sites.
+  std::uint64_t injected_total() const noexcept;
+
+ private:
+  struct SiteState {
+    SiteConfig cfg;
+    std::atomic<std::uint64_t> visits{0};
+    std::atomic<std::uint64_t> injected{0};
+  };
+
+  SiteState sites_[kSiteCount];
+  std::atomic<std::uint32_t> armed_sites_{0};
+};
+
+#if MDCP_ENABLE_FAULTINJECT
+
+/// Hot-path gate used by the injection sites: one relaxed load when nothing
+/// is armed.
+inline bool should_inject(Site site, std::uint64_t measure = 0) noexcept {
+  FaultPlan& p = FaultPlan::instance();
+  if (!p.armed()) return false;
+  return p.should_inject(site, measure);
+}
+inline constexpr bool enabled() noexcept { return true; }
+
+#else
+
+/// Compiled out: constexpr false, so `if (fault::should_inject(...))`
+/// branches fold away entirely.
+inline constexpr bool should_inject(Site, std::uint64_t = 0) noexcept {
+  return false;
+}
+inline constexpr bool enabled() noexcept { return false; }
+
+#endif  // MDCP_ENABLE_FAULTINJECT
+
+}  // namespace mdcp::fault

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <new>
+#include <sstream>
 
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/parallel.hpp"
 
 namespace mdcp {
@@ -25,6 +27,25 @@ void Workspace::grow(Slab& slab, std::size_t bytes) {
   // increasing requests costs O(log max) allocations total.
   std::size_t cap = std::max(bytes, slab.capacity * 2);
   cap = (cap + kAlignment - 1) / kAlignment * kAlignment;
+  const std::size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  const std::size_t prospective =
+      total_bytes_.load(std::memory_order_relaxed) + (cap - slab.capacity);
+  if (budget != 0 && prospective > budget) {
+    // Geometric over-growth must not trip a budget the exact request fits
+    // in: retry with the tight size before giving up.
+    cap = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    const std::size_t tight =
+        total_bytes_.load(std::memory_order_relaxed) + (cap - slab.capacity);
+    if (tight > budget) {
+      std::ostringstream os;
+      os << "workspace memory budget exceeded: slab growth to " << cap
+         << " B would raise the arena total to " << tight << " B (budget "
+         << budget << " B)";
+      throw budget_error(os.str(), tight, budget);
+    }
+  }
+  if (fault::should_inject(fault::Site::kAlloc, prospective))
+    throw std::bad_alloc{};
   auto* fresh = static_cast<std::byte*>(
       ::operator new(cap, std::align_val_t{kAlignment}));
   if (slab.data != nullptr)

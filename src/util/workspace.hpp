@@ -54,6 +54,19 @@ class Workspace {
   /// outside parallel regions (it touches other threads' slabs).
   void reserve(int threads, std::size_t bytes_per_thread);
 
+  /// Caps the total bytes this arena may hold across all slabs (0 =
+  /// unlimited, the default). A growth that would push allocated_bytes()
+  /// past the budget throws mdcp::budget_error *before* allocating, leaving
+  /// the arena unchanged — callers (the AutoEngine degradation chain) can
+  /// catch it and fall back to a cheaper engine. Set outside parallel
+  /// regions.
+  void set_budget_bytes(std::size_t bytes) noexcept {
+    budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t budget_bytes() const noexcept {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Bytes currently allocated across all slabs.
   std::size_t allocated_bytes() const noexcept {
     return total_bytes_.load(std::memory_order_relaxed);
@@ -93,6 +106,7 @@ class Workspace {
   Slab slabs_[kMaxThreads];
   std::atomic<std::size_t> total_bytes_{0};
   std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<std::size_t> budget_bytes_{0};
 };
 
 /// Process-wide default arena used when a KernelContext names no workspace.
@@ -134,6 +148,15 @@ struct KernelStats {
   /// "single-thread", "forced-owner", ...).
   const char* last_sched_reason = "";
 
+  // Fault-tolerance telemetry: engine fallbacks taken by the degradation
+  // chain when a predicted or actual allocation exceeded the memory budget
+  // (see model/tuner.hpp).
+  std::uint64_t degradations = 0;
+  /// Static string naming why the last degradation fired
+  /// ("predicted-over-budget", "budget-exceeded", "alloc-failure"; "" =
+  /// none).
+  const char* last_degradation_reason = "";
+
   /// Field-wise delta against an earlier snapshot of the same stats object
   /// (peaks are carried over, not subtracted). Used to attribute one CP-ALS
   /// run's share of a long-lived engine's counters.
@@ -150,6 +173,8 @@ struct KernelStats {
     d.last_schedule = last_schedule;
     d.last_tiles = last_tiles;
     d.last_sched_reason = last_sched_reason;
+    d.degradations = degradations - baseline.degradations;
+    d.last_degradation_reason = last_degradation_reason;
     return d;
   }
 };
@@ -165,6 +190,12 @@ struct KernelContext {
   /// (kAuto = per-mode heuristic). The strategy layer and benchmarks use
   /// this to pin owner-computes or privatized-reduction execution.
   ScheduleMode sched = ScheduleMode::kAuto;
+  /// Memory budget in bytes for this execution (0 = unlimited). prepare()
+  /// installs it as the workspace arena budget (over-budget scratch growth
+  /// throws mdcp::budget_error), the cost model skips strategies predicted
+  /// to exceed it, and the AutoEngine walks its degradation chain
+  /// (dtree → ttv-chain → csf → coo) on a predicted or actual violation.
+  std::size_t mem_budget = 0;
 };
 
 }  // namespace mdcp

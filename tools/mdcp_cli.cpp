@@ -7,7 +7,8 @@
 //   mdcp_cli tune <tensor.tns> [--rank R] [--budget-mb M] [--probe]
 //   mdcp_cli decompose <tensor.tns> [--rank R] [--engine NAME] [--iters K]
 //                      [--tol T] [--seed S] [--restarts N] [--nonnegative]
-//                      [--threads T] [--out-prefix P]
+//                      [--threads T] [--mem-budget MB] [--no-strict]
+//                      [--out-prefix P]
 //                      [--trace T.json] [--metrics M.json] [--report R.jsonl]
 //   mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] [--reps N]
 //                    [--threads T] [--calib-seconds S] [--json] [--out F]
@@ -44,6 +45,7 @@ using namespace mdcp;
                "[--iters K] [--tol T]\n"
                "                     [--seed S] [--restarts N] [--algorithm als|mu] "
                "[--nonnegative] [--threads T]\n"
+               "                     [--mem-budget MB] [--no-strict]\n"
                "                     [--out-prefix P] [--trace T.json] "
                "[--metrics M.json]\n"
                "                     [--report R.jsonl]\n"
@@ -92,6 +94,20 @@ class Args {
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
 };
+
+// Reads a .tns input honoring the CLI strictness flag. Strict parsing is the
+// default; --no-strict skips malformed records (with a count on stderr)
+// instead of failing the whole run.
+CooTensor read_input(const Args& args, const std::string& path) {
+  TnsReadOptions io;
+  io.strict = !args.has("no-strict");
+  TnsReadStats st;
+  CooTensor t = read_tns_file(path, {}, io, &st);
+  if (st.skipped_malformed > 0)
+    std::fprintf(stderr, "warning: %s: skipped %zu malformed record(s)\n",
+                 path.c_str(), st.skipped_malformed);
+  return t;
+}
 
 shape_t parse_shape(const std::string& s) {
   shape_t shape;
@@ -151,7 +167,7 @@ int cmd_info(const Args& args) {
 
 int cmd_stats(const Args& args) {
   if (args.positional().empty()) usage("stats needs a tensor file");
-  const CooTensor t = read_tns_file(args.positional()[0]);
+  const CooTensor t = read_input(args, args.positional()[0]);
   const auto s = compute_stats(t);
   std::printf("%s\n", s.to_string().c_str());
   for (mdcp::mode_t m = 0; m < t.order(); ++m) {
@@ -191,7 +207,7 @@ int cmd_generate(const Args& args) {
 
 int cmd_tune(const Args& args) {
   if (args.positional().empty()) usage("tune needs a tensor file");
-  const CooTensor t = read_tns_file(args.positional()[0]);
+  const CooTensor t = read_input(args, args.positional()[0]);
   const auto rank = static_cast<index_t>(args.get_num("rank", 16));
   const auto budget = static_cast<std::size_t>(
       args.get_num("budget-mb", 0) * 1024.0 * 1024.0);
@@ -228,7 +244,7 @@ void write_factor(const std::string& path, const Matrix& f) {
 
 int cmd_decompose(const Args& args) {
   if (args.positional().empty()) usage("decompose needs a tensor file");
-  const CooTensor t = read_tns_file(args.positional()[0]);
+  const CooTensor t = read_input(args, args.positional()[0]);
   std::printf("input: %s\n", t.summary().c_str());
 
   if (args.has("threads"))
@@ -262,8 +278,13 @@ int cmd_decompose(const Args& args) {
   if (!EngineRegistry::instance().contains(opt.engine_name))
     usage(("unknown engine: " + opt.engine_name).c_str());
   opt.nonnegative = args.has("nonnegative");
-  opt.memory_budget_bytes = static_cast<std::size_t>(
-      args.get_num("budget-mb", 0) * 1024.0 * 1024.0);
+  // --mem-budget is the enforced kernel budget (MiB); --budget-mb is kept as
+  // a legacy alias from when the budget only informed model selection.
+  const double budget_mb = args.has("mem-budget")
+                               ? args.get_num("mem-budget", 0)
+                               : args.get_num("budget-mb", 0);
+  opt.memory_budget_bytes =
+      static_cast<std::size_t>(budget_mb * 1024.0 * 1024.0);
   opt.verbose = args.has("verbose");
   opt.reporter = reporter.get();
 
@@ -300,6 +321,20 @@ int cmd_decompose(const Args& args) {
               result.engine_peak_memory_bytes,
               static_cast<double>(result.engine_peak_memory_bytes) /
                   (1024.0 * 1024.0));
+  if (result.kernel_stats.degradations > 0) {
+    std::printf("degradations: %llu (last: %s)\n",
+                static_cast<unsigned long long>(
+                    result.kernel_stats.degradations),
+                result.kernel_stats.last_degradation_reason[0] != '\0'
+                    ? result.kernel_stats.last_degradation_reason
+                    : "?");
+  }
+  if (result.recoveries > 0 || result.ridge_retries > 0 ||
+      result.pseudo_inverse_solves > 0) {
+    std::printf("recovery: restarts %d  ridge-retries %d  pinv-solves %d\n",
+                result.recoveries, result.ridge_retries,
+                result.pseudo_inverse_solves);
+  }
   if (result.predicted_seconds_per_iteration > 0 && result.iterations > 0) {
     const double measured =
         result.mttkrp_seconds / static_cast<double>(result.iterations);
@@ -408,7 +443,7 @@ int cmd_profile(const Args& args) {
   std::string dataset_name;
   if (!args.positional().empty()) {
     dataset_name = args.positional()[0];
-    t = read_tns_file(dataset_name);
+    t = read_input(args, dataset_name);
   } else {
     dataset_name = "synthetic-zipf4d";
     t = generate_zipf({500, 20000, 80000, 30000},
