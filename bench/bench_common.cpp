@@ -140,6 +140,16 @@ void TablePrinter::add_row(const std::vector<std::string>& cells) {
   rows_.push_back(cells);
 }
 
+void TablePrinter::add_meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
 void TablePrinter::print() const {
   if (g_json_mode) {
     obs::JsonWriter w;
@@ -159,6 +169,7 @@ void TablePrinter::print() const {
     w.key("meta").begin_object();
     w.kv("bench_scale", bench_scale());
     w.kv("threads", static_cast<std::int64_t>(num_threads()));
+    for (const auto& [k, v] : meta_) w.kv(k, v);
     // Parallel-schedule provenance: how many kernel launches ran
     // owner-computes vs privatized-reduction tiles up to this table (process
     // totals from the sched.* metrics; see sched/schedule.hpp).
@@ -199,6 +210,8 @@ void TablePrinter::print() const {
     for (const auto& c : row) cell(c);
     std::printf("\n");
   }
+  for (const auto& [k, v] : meta_)
+    std::printf("%s=%s\n", k.c_str(), v.c_str());
   std::printf("\n");
 }
 

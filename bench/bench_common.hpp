@@ -96,11 +96,16 @@ class TablePrinter {
   explicit TablePrinter(std::vector<std::string> headers, int width = 14,
                         std::string name = "");
   void add_row(const std::vector<std::string>& cells);
+  /// Attaches a provenance key/value pair emitted into the table's --json
+  /// meta object (e.g. the microkernel tile widths a sweep selected). Text
+  /// mode prints them as a trailing "key=value" line.
+  void add_meta(const std::string& key, const std::string& value);
   void print() const;
 
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   int width_;
   std::string name_;
 };

@@ -1,10 +1,16 @@
 // Experiment F4 — speedup vs decomposition rank.
 //
-// R ∈ {4, 8, 16, 32, 64} on a 4-mode and a 6-mode dataset. Both engines
-// scale linearly in R for the arithmetic, but the memoized scheme amortizes
-// its index traversals over all R columns ("thick" TTMV), so its advantage
-// is roughly rank-independent — the expected shape is a flat speedup curve.
+// R sweeps the microkernel tile boundaries: {1, 7, 8, 15, 16, 17, 32, 33}
+// covers the scalar floor (R < 8), each compile-time tile width (8/16/32),
+// and the one-past cases that exercise the cascade + remainder path. Both
+// engines scale linearly in R for the arithmetic, but the memoized scheme
+// amortizes its index traversals over all R columns ("thick" TTMV), so its
+// advantage is roughly rank-independent — the expected shape is a flat
+// speedup curve with a step at each tile boundary in absolute time.
+#include <sstream>
+
 #include "bench_common.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "util/parallel.hpp"
 
 int main(int argc, char** argv) {
@@ -27,11 +33,14 @@ int main(int argc, char** argv) {
                           {.clusters = 128, .spread = 4.0}, 106)});
   for (const auto& ds : datasets) register_dataset(ds.name, ds.tensor);
 
+  const index_t ranks[] = {1, 7, 8, 15, 16, 17, 32, 33};
+
   note("== F4: MTTKRP sweep time vs rank (1 thread) ==\n\n");
   for (const auto& ds : datasets) {
-    TablePrinter table({"rank", "csf", "dtree-bdt", "speedup"}, 14,
+    TablePrinter table({"rank", "tile", "csf", "dtree-bdt", "speedup"}, 14,
                        "F4/" + ds.name);
-    for (index_t rank : {4u, 8u, 16u, 32u, 64u}) {
+    std::ostringstream tiles;
+    for (index_t rank : ranks) {
       std::vector<Matrix> factors;
       for (mdcp::mode_t m = 0; m < ds.tensor.order(); ++m)
         factors.push_back(Matrix::random_uniform(ds.tensor.dim(m), rank, rng));
@@ -40,9 +49,17 @@ int main(int argc, char** argv) {
       const double csf_time = time_mttkrp_sweep(csf, ds.tensor, factors);
       auto bdt = make_dtree_bdt(ds.tensor);
       const double bdt_time = time_mttkrp_sweep(*bdt, ds.tensor, factors);
-      table.add_row({std::to_string(rank), fmt_seconds(csf_time),
-                     fmt_seconds(bdt_time), fmt_ratio(csf_time / bdt_time)});
+      // The engine reports the tile its last compute actually dispatched;
+      // cross-check against the static selector so the table stays honest.
+      const index_t tile = csf.stats().last_tile;
+      if (tiles.tellp() > 0) tiles << ",";
+      tiles << rank << ":" << tile;
+      table.add_row({std::to_string(rank), std::to_string(tile),
+                     fmt_seconds(csf_time), fmt_seconds(bdt_time),
+                     fmt_ratio(csf_time / bdt_time)});
     }
+    // Selected tile per rank (rank:tile pairs), in the --json meta object.
+    table.add_meta("mk_tiles", tiles.str());
     note("dataset: %s (%s)\n", ds.name.c_str(), ds.tensor.summary().c_str());
     table.print();
   }

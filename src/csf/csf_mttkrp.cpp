@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mttkrp/microkernel.hpp"
 #include "sched/reduce.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -11,13 +12,18 @@ namespace mdcp {
 namespace {
 
 // Per-thread traversal state: one length-R accumulator per CSF level,
-// carved out of a single workspace slab (acc(l) = slab[l*r, (l+1)*r)).
+// carved out of a single workspace slab at the padded stride, so every
+// acc(l) honors the microkernel's 64-byte alignment contract.
 struct Scratch {
   std::span<real_t> slab;
-  index_t r;
+  mk::Kernel mk;
 
-  std::span<real_t> acc(mode_t level) const {
-    return slab.subspan(static_cast<std::size_t>(level) * r, r);
+  static std::size_t reals(mode_t order, index_t r) {
+    return static_cast<std::size_t>(order) * mk::padded_rank(r);
+  }
+  real_t* acc(mode_t level) const {
+    return mk::assume_aligned(
+        slab.data() + static_cast<std::size_t>(level) * mk.padded());
   }
 };
 
@@ -25,24 +31,22 @@ struct Scratch {
 //   g(leaf entry)  = val · U_leafmode(fid, :)
 //   g(inner fiber) = U_levelmode(fid, :) ∘ Σ_children g(child)
 void subtree(const CsfTensor& csf, const std::vector<Matrix>& factors,
-             mode_t level, nnz_t fiber, index_t r, const Scratch& s) {
+             mode_t level, nnz_t fiber, const Scratch& s) {
   const mode_t leaf = static_cast<mode_t>(csf.order() - 1);
-  const auto acc = s.acc(level);
+  real_t* acc = s.acc(level);
   if (level == leaf) {
     const auto row = factors[csf.mode_order()[leaf]].row(csf.fids(leaf)[fiber]);
-    const real_t v = csf.values()[fiber];
-    for (index_t k = 0; k < r; ++k) acc[k] = v * row[k];
+    s.mk.set_scale(acc, row.data(), csf.values()[fiber]);
     return;
   }
-  for (index_t k = 0; k < r; ++k) acc[k] = 0;
+  s.mk.fill(acc, 0);
   const auto ptr = csf.fptr(level);
   for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
-    subtree(csf, factors, static_cast<mode_t>(level + 1), c, r, s);
-    const auto child = s.acc(static_cast<mode_t>(level + 1));
-    for (index_t k = 0; k < r; ++k) acc[k] += child[k];
+    subtree(csf, factors, static_cast<mode_t>(level + 1), c, s);
+    s.mk.accum(acc, s.acc(static_cast<mode_t>(level + 1)));
   }
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
-  for (index_t k = 0; k < r; ++k) acc[k] *= row[k];
+  s.mk.hadamard(acc, row.data());
 }
 
 // Maps level-`from` fiber boundaries to leaf (nonzero) positions by
@@ -66,10 +70,12 @@ void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
   out.resize(csf.shape()[root_mode], r, 0);
   if (ws == nullptr) ws = &default_workspace();
 
+  const mk::Kernel mk(r);
   if (csf.order() == 1) {
-    // Degenerate: MTTKRP of a vector is the vector itself.
+    // Degenerate: MTTKRP of a vector is the vector itself (the nonzero value
+    // broadcast over all R columns).
     for (nnz_t f = 0; f < csf.nnz(); ++f)
-      for (index_t k = 0; k < r; ++k) out(csf.fids(0)[f], k) += csf.values()[f];
+      mk.add_scalar(out.row(csf.fids(0)[f]).data(), csf.values()[f]);
     return;
   }
 
@@ -78,21 +84,18 @@ void csf_mttkrp_root(const CsfTensor& csf, const std::vector<Matrix>& factors,
   const auto root_ids = csf.fids(0);
 
   // Serial scratch acquisition: growth must not throw inside the region.
-  ws->reserve(num_threads(),
-              static_cast<std::size_t>(csf.order()) * r * sizeof(real_t));
+  ws->reserve(num_threads(), Scratch::reals(csf.order(), r) * sizeof(real_t));
 #pragma omp parallel
   {
-    const Scratch s{
-        ws->thread_scratch<real_t>(static_cast<std::size_t>(csf.order()) * r),
-        r};
+    const Scratch s{ws->thread_scratch<real_t>(Scratch::reals(csf.order(), r)),
+                    mk};
 #pragma omp for schedule(dynamic, 8)
     for (std::int64_t f = 0; f < static_cast<std::int64_t>(num_roots); ++f) {
       auto orow = out.row(root_ids[static_cast<nnz_t>(f)]);
       for (nnz_t c = root_ptr[static_cast<nnz_t>(f)];
            c < root_ptr[static_cast<nnz_t>(f) + 1]; ++c) {
-        subtree(csf, factors, 1, c, r, s);
-        const auto child = s.acc(1);
-        for (index_t k = 0; k < r; ++k) orow[k] += child[k];
+        subtree(csf, factors, 1, c, s);
+        mk.accum(orow.data(), s.acc(1));
       }
     }
   }
@@ -133,10 +136,10 @@ void CsfMttkrpEngine::do_prepare(index_t rank) {
     si.lvl1_nnz.resize(lvl1);
     for (nnz_t f = 0; f < lvl1; ++f) si.lvl1_nnz[f] = b[f + 1] - b[f];
   }
+  mk_ = mk::Kernel(rank);
   if (rank > 0)
     workspace().reserve(effective_threads(),
-                        static_cast<std::size_t>(t.order()) * rank *
-                            sizeof(real_t));
+                        Scratch::reals(t.order(), rank) * sizeof(real_t));
 }
 
 void CsfMttkrpEngine::do_compute(mode_t mode,
@@ -150,6 +153,7 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
     // Degenerate serial path; nothing to schedule.
     csf_mttkrp_root(csf, factors, out, ctx_.workspace);
     record_schedule({sched::Schedule::kOwner, 1, 0.0, 0, "degenerate-order1"});
+    record_tile(mk::select_tile(r));
     count_flops(static_cast<std::uint64_t>(csf.nnz()) * r);
     return;
   }
@@ -172,6 +176,8 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
   const sched::Decision d =
       sched::choose_schedule(shape, effective_threads(), schedule_mode());
   record_schedule(d);
+  if (mk_.rank() != r) mk_ = mk::Kernel(r);
+  record_tile(mk_.tile());
 
   // Accumulates level-1 children [root_ptr[f]+begin, root_ptr[f]+end) of
   // root fiber f into `dst` row root_ids[f].
@@ -179,15 +185,14 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
                               const Scratch& s, real_t* dst) {
     real_t* drow = dst + static_cast<nnz_t>(root_ids[f]) * r;
     for (nnz_t c = root_ptr[f] + begin; c < root_ptr[f] + end; ++c) {
-      subtree(csf, factors, 1, c, r, s);
-      const auto child = s.acc(1);
-      for (index_t k = 0; k < r; ++k) drow[k] += child[k];
+      subtree(csf, factors, 1, c, s);
+      s.mk.accum(drow, s.acc(1));
     }
   };
   const auto root_children = [&](nnz_t f) {
     return root_ptr[f + 1] - root_ptr[f];
   };
-  const std::size_t acc_elems = static_cast<std::size_t>(csf.order()) * r;
+  const std::size_t acc_elems = Scratch::reals(csf.order(), r);
 
   if (d.schedule == sched::Schedule::kOwner) {
     const sched::TilePlan& tp = sched::cached_tiles(
@@ -197,7 +202,7 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
     ws.reserve(effective_threads(), acc_elems * sizeof(real_t));
 #pragma omp parallel
     {
-      const Scratch s{ws.thread_scratch<real_t>(acc_elems), r};
+      const Scratch s{ws.thread_scratch<real_t>(acc_elems), mk_};
 #pragma omp for schedule(dynamic, 1)
       for (int tile = 0; tile < tp.tiles(); ++tile) {
         sched::for_each_group_range(
@@ -218,9 +223,11 @@ void CsfMttkrpEngine::do_compute(mode_t mode,
     {
       const int team = team_size();
       const int tid = thread_id();
-      const auto slab = ws.thread_scratch<real_t>(out_elems + acc_elems);
-      real_t* partial = slab.data();
-      const Scratch s{slab.subspan(out_elems, acc_elems), r};
+      // Traversal accumulators first (padded strides) so every acc(l) and
+      // the partial slab behind them stay 64-byte aligned.
+      const auto slab = ws.thread_scratch<real_t>(acc_elems + out_elems);
+      const Scratch s{slab.first(acc_elems), mk_};
+      real_t* partial = slab.data() + acc_elems;
       std::fill(partial, partial + out_elems, real_t{0});
       parts.publish(tid, partial);
       for (int tile = tid; tile < tp.tiles(); tile += team) {

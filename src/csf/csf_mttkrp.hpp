@@ -25,6 +25,7 @@
 
 #include "csf/csf_tensor.hpp"
 #include "mttkrp/engine.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "sched/partition.hpp"
 
 namespace mdcp {
@@ -63,6 +64,7 @@ class CsfMttkrpEngine final : public MttkrpEngine {
 
   std::vector<std::unique_ptr<CsfTensor>> csfs_;
   std::vector<SchedInfo> sched_;  // one per mode
+  mk::Kernel mk_;                 // rank-blocked dispatcher, set per prepare()
 };
 
 }  // namespace mdcp

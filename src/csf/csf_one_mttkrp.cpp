@@ -13,21 +13,24 @@ namespace {
 
 // Per-thread traversal scratch carved out of one workspace slab: one suffix
 // accumulator per CSF level (acc) and one prefix buffer per level+1 (pre).
-// Layout: [acc(0..order) | pre(0..order+1)], each length r.
+// Layout: [acc(0..order) | pre(0..order+1)], each at the padded-rank stride
+// so every buffer honors the microkernel's 64-byte alignment contract.
 struct Scratch {
   std::span<real_t> slab;
   mode_t order;
-  index_t r;
+  mk::Kernel mk;
 
   static std::size_t reals(mode_t order, index_t r) {
-    return (static_cast<std::size_t>(order) * 2 + 1) * r;
+    return (static_cast<std::size_t>(order) * 2 + 1) * mk::padded_rank(r);
   }
-  std::span<real_t> acc(mode_t level) const {
-    return slab.subspan(static_cast<std::size_t>(level) * r, r);
+  real_t* acc(mode_t level) const {
+    return mk::assume_aligned(
+        slab.data() + static_cast<std::size_t>(level) * mk.padded());
   }
-  std::span<real_t> pre(mode_t level) const {
-    return slab.subspan((static_cast<std::size_t>(order) +
-                         static_cast<std::size_t>(level)) * r, r);
+  real_t* pre(mode_t level) const {
+    return mk::assume_aligned(slab.data() +
+                              (static_cast<std::size_t>(order) +
+                               static_cast<std::size_t>(level)) * mk.padded());
   }
 };
 
@@ -36,60 +39,55 @@ struct Scratch {
 //   Σ_{paths below} val · ∘_{k>level_out, k<=N-1, k passed} U rows
 // including this fiber's own row. Identical to the root-kernel recursion.
 void suffix_below(const CsfTensor& csf, const std::vector<Matrix>& factors,
-                  mode_t level, nnz_t fiber, index_t r, const Scratch& s) {
+                  mode_t level, nnz_t fiber, const Scratch& s) {
   const auto leaf = static_cast<mode_t>(csf.order() - 1);
-  const auto acc = s.acc(level);
+  real_t* acc = s.acc(level);
   if (level == leaf) {
     const auto row = factors[csf.mode_order()[leaf]].row(csf.fids(leaf)[fiber]);
-    const real_t v = csf.values()[fiber];
-    for (index_t k = 0; k < r; ++k) acc[k] = v * row[k];
+    s.mk.set_scale(acc, row.data(), csf.values()[fiber]);
     return;
   }
-  for (index_t k = 0; k < r; ++k) acc[k] = 0;
+  s.mk.fill(acc, 0);
   const auto ptr = csf.fptr(level);
   for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
-    suffix_below(csf, factors, static_cast<mode_t>(level + 1), c, r, s);
-    const auto child = s.acc(static_cast<mode_t>(level + 1));
-    for (index_t k = 0; k < r; ++k) acc[k] += child[k];
+    suffix_below(csf, factors, static_cast<mode_t>(level + 1), c, s);
+    s.mk.accum(acc, s.acc(static_cast<mode_t>(level + 1)));
   }
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
-  for (index_t k = 0; k < r; ++k) acc[k] *= row[k];
+  s.mk.hadamard(acc, row.data());
 }
 
 // Top-down walk from `level` to the output level `out_level`, carrying the
 // running prefix product in s.pre(level); at out_level, writes
 // prefix ∘ suffix(fiber) into fiber_buf(fiber, :).
 void descend(const CsfTensor& csf, const std::vector<Matrix>& factors,
-             mode_t level, nnz_t fiber, mode_t out_level, index_t r,
-             const Scratch& s, Matrix& fiber_buf) {
-  const auto prefix = s.pre(level);
+             mode_t level, nnz_t fiber, mode_t out_level, const Scratch& s,
+             Matrix& fiber_buf) {
+  const real_t* prefix = s.pre(level);
   if (level == out_level) {
-    auto out = fiber_buf.row(static_cast<index_t>(fiber));
+    real_t* out = fiber_buf.row(static_cast<index_t>(fiber)).data();
     if (out_level == static_cast<mode_t>(csf.order() - 1)) {
       // Leaf output: suffix is just the nonzero value.
-      const real_t v = csf.values()[fiber];
-      for (index_t k = 0; k < r; ++k) out[k] = prefix[k] * v;
+      s.mk.set_scale(out, prefix, csf.values()[fiber]);
     } else {
       // Suffix over the subtree below, *excluding* this fiber's own factor
       // row (the output mode's factor never participates in its MTTKRP).
-      for (index_t k = 0; k < r; ++k) out[k] = 0;
+      s.mk.fill(out, 0);
       const auto ptr = csf.fptr(out_level);
       for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c) {
-        suffix_below(csf, factors, static_cast<mode_t>(out_level + 1), c, r, s);
-        const auto child = s.acc(static_cast<mode_t>(out_level + 1));
-        for (index_t k = 0; k < r; ++k) out[k] += child[k];
+        suffix_below(csf, factors, static_cast<mode_t>(out_level + 1), c, s);
+        s.mk.accum(out, s.acc(static_cast<mode_t>(out_level + 1)));
       }
-      for (index_t k = 0; k < r; ++k) out[k] *= prefix[k];
+      s.mk.hadamard(out, prefix);
     }
     return;
   }
   // Multiply this level's factor row into the next level's prefix buffer.
   const auto row = factors[csf.mode_order()[level]].row(csf.fids(level)[fiber]);
-  const auto next = s.pre(static_cast<mode_t>(level + 1));
-  for (index_t k = 0; k < r; ++k) next[k] = prefix[k] * row[k];
+  s.mk.mul(s.pre(static_cast<mode_t>(level + 1)), prefix, row.data());
   const auto ptr = csf.fptr(level);
   for (nnz_t c = ptr[fiber]; c < ptr[fiber + 1]; ++c)
-    descend(csf, factors, static_cast<mode_t>(level + 1), c, out_level, r, s,
+    descend(csf, factors, static_cast<mode_t>(level + 1), c, out_level, s,
             fiber_buf);
 }
 
@@ -157,6 +155,7 @@ void CsfOneMttkrpEngine::do_prepare(index_t rank) {
   }
   root_owner_ = {};
 
+  mk_ = mk::Kernel(rank);
   if (rank > 0)
     workspace().reserve(effective_threads(),
                         Scratch::reals(csf_->order(), rank) * sizeof(real_t));
@@ -187,6 +186,8 @@ void CsfOneMttkrpEngine::do_compute(mode_t mode,
   const sched::Decision d1 =
       sched::choose_schedule(phase1, effective_threads(), schedule_mode());
   record_schedule(d1);
+  if (mk_.rank() != r) mk_ = mk::Kernel(r);
+  record_tile(mk_.tile());
   const sched::TilePlan& tp1 = sched::cached_tiles(
       root_owner_, d1.tiles,
       [&](int n) { return sched::tile_groups(root_nnz_, n); });
@@ -196,15 +197,14 @@ void CsfOneMttkrpEngine::do_compute(mode_t mode,
 #pragma omp parallel
   {
     const Scratch s{ws.thread_scratch<real_t>(Scratch::reals(csf.order(), r)),
-                    csf.order(), r};
+                    csf.order(), mk_};
 #pragma omp for schedule(dynamic, 1)
     for (int tile = 0; tile < tp1.tiles(); ++tile) {
       sched::for_each_group_range(
           tp1, tile, [](nnz_t) { return nnz_t{1}; },
           [&](nnz_t f, nnz_t, nnz_t) {
-            const auto pre0 = s.pre(0);
-            std::fill(pre0.begin(), pre0.end(), real_t{1});
-            descend(csf, factors, 0, f, out_level, r, s, fiber_buf_);
+            s.mk.fill(s.pre(0), 1);
+            descend(csf, factors, 0, f, out_level, s, fiber_buf_);
           });
     }
   }
@@ -229,8 +229,8 @@ void CsfOneMttkrpEngine::do_compute(mode_t mode,
     real_t* drow = dst + static_cast<nnz_t>(plan.rows[g]) * r;
     for (nnz_t p = plan.row_start[g] + begin; p < plan.row_start[g] + end;
          ++p) {
-      const auto frow = fiber_buf_.row(static_cast<index_t>(plan.perm[p]));
-      for (index_t k = 0; k < r; ++k) drow[k] += frow[k];
+      mk_.accum(drow,
+                fiber_buf_.row(static_cast<index_t>(plan.perm[p])).data());
     }
   };
   const auto group_size = [&](nnz_t g) {

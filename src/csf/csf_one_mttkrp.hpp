@@ -24,6 +24,7 @@
 
 #include "csf/csf_tensor.hpp"
 #include "mttkrp/engine.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "sched/partition.hpp"
 
 namespace mdcp {
@@ -68,6 +69,7 @@ class CsfOneMttkrpEngine final : public MttkrpEngine {
   std::vector<nnz_t> root_nnz_;           // subtree-nnz prefix per root fiber
   sched::CachedPlan root_owner_;          // phase-1 whole-root tiles
   Matrix fiber_buf_;                      // per-fiber contribution scratch
+  mk::Kernel mk_;                         // rank-blocked dispatcher
 };
 
 }  // namespace mdcp

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "dtree/numeric.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -27,7 +28,7 @@ void DTreeMttkrpEngine::do_prepare(index_t rank) {
   peak_bytes_ = memory_bytes();
   if (rank > 0)
     workspace().reserve(effective_threads(),
-                        static_cast<std::size_t>(rank) * sizeof(real_t));
+                        mk::padded_rank(rank) * sizeof(real_t));
 }
 
 void DTreeMttkrpEngine::do_compute(mode_t mode,
@@ -44,6 +45,7 @@ void DTreeMttkrpEngine::do_compute(mode_t mode,
   }
 
   const int leaf = tree.leaf_for_mode(mode);
+  record_tile(mk::select_tile(r));
   TtmvSched ts{.threads = effective_threads(), .mode = schedule_mode()};
   count_flops(compute_node_values(tree, leaf, factors, r, workspace(), &ts));
   peak_bytes_ = std::max(peak_bytes_, memory_bytes());

@@ -4,6 +4,7 @@
 #include <array>
 #include <span>
 
+#include "mttkrp/microkernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/reduce.hpp"
@@ -77,25 +78,46 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
     ts->last = d;
   }
 
+  const mk::Kernel mk(rank);
+
   // Accumulates reduction entries [red_ptr[t]+begin, red_ptr[t]+end) of
-  // tuple t into `dst` row t.
+  // tuple t into `dst` row t. The fused microkernel paths cover the common
+  // small contraction sets; wider δ falls back to the Hadamard accumulator
+  // `tmp` (slab-origin, 64-byte aligned).
   const auto accumulate = [&](nnz_t t, nnz_t begin, nnz_t end, real_t* tmp,
                               real_t* dst) {
+    tmp = mk::assume_aligned(tmp);
     real_t* out = dst + t * rank;
     for (nnz_t jp = n.red_ptr[t] + begin; jp < n.red_ptr[t] + end; ++jp) {
       const nnz_t j = n.red_ids[jp];
+      const auto frow = [&](std::size_t dd) {
+        return dfac[dd]->row(didx[dd][j]).data();
+      };
       if (parent_is_root) {
         const real_t v = root_vals[j];
-        for (index_t k = 0; k < rank; ++k) tmp[k] = v;
+        if (nd == 1) {
+          mk.axpy_accum(out, frow(0), v);
+        } else if (nd == 2) {
+          mk.fused2_accum(out, frow(0), frow(1), v);
+        } else if (nd == 3) {
+          mk.fused3_accum(out, frow(0), frow(1), frow(2), v);
+        } else {
+          mk.fill(tmp, v);
+          for (std::size_t dd = 0; dd < nd; ++dd) mk.hadamard(tmp, frow(dd));
+          mk.accum(out, tmp);
+        }
       } else {
-        const auto prow = p.values.row(static_cast<index_t>(j));
-        for (index_t k = 0; k < rank; ++k) tmp[k] = prow[k];
+        const real_t* prow = p.values.row(static_cast<index_t>(j)).data();
+        if (nd == 1) {
+          mk.fused2_accum(out, prow, frow(0), 1);
+        } else if (nd == 2) {
+          mk.fused3_accum(out, prow, frow(0), frow(1), 1);
+        } else {
+          mk.copy(tmp, prow);
+          for (std::size_t dd = 0; dd < nd; ++dd) mk.hadamard(tmp, frow(dd));
+          mk.accum(out, tmp);
+        }
       }
-      for (std::size_t dd = 0; dd < nd; ++dd) {
-        const auto frow = dfac[dd]->row(didx[dd][j]);
-        for (index_t k = 0; k < rank; ++k) tmp[k] *= frow[k];
-      }
-      for (index_t k = 0; k < rank; ++k) out[k] += tmp[k];
     }
   };
   const auto red_size = [&](nnz_t t) {
@@ -107,10 +129,10 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
         n.owner_tiles, d.tiles,
         [&](int nt) { return sched::tile_groups(n.red_ptr, nt); });
     // Serial scratch acquisition: growth must not throw inside the region.
-    ws.reserve(num_threads(), rank * sizeof(real_t));
+    ws.reserve(num_threads(), mk.padded() * sizeof(real_t));
 #pragma omp parallel
     {
-      const auto tmp = ws.thread_scratch<real_t>(rank);
+      const auto tmp = ws.thread_scratch<real_t>(mk.padded());
 #pragma omp for schedule(dynamic, 1)
       for (int tile = 0; tile < tp.tiles(); ++tile) {
         sched::for_each_group_range(tp, tile, red_size,
@@ -125,15 +147,17 @@ std::uint64_t ttmv_from_parent(DimensionTree& tree, int which,
         n.split_tiles, d.tiles,
         [&](int nt) { return sched::tile_groups_split(n.red_ptr, nt); });
     const nnz_t out_elems = n.tuples * rank;
-    ws.reserve(num_threads(), (out_elems + rank) * sizeof(real_t));
+    ws.reserve(num_threads(), (mk.padded() + out_elems) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {
       const int team = team_size();
       const int tid = thread_id();
-      const auto slab = ws.thread_scratch<real_t>(out_elems + rank);
-      real_t* partial = slab.data();
-      real_t* tmp = partial + out_elems;
+      // Accumulator first (padded stride) so both it and the partial slab
+      // stay 64-byte aligned.
+      const auto slab = ws.thread_scratch<real_t>(mk.padded() + out_elems);
+      real_t* tmp = slab.data();
+      real_t* partial = tmp + mk.padded();
       std::fill(partial, partial + out_elems, real_t{0});
       parts.publish(tid, partial);
       for (int tile = tid; tile < tp.tiles(); tile += team) {

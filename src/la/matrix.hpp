@@ -4,11 +4,16 @@
 // BLAS: every dense operation in CP-ALS is either tall-skinny (I × R with
 // R ≤ 64) or tiny (R × R), where simple cache-friendly loops are competitive
 // and keep the library dependency-free.
+//
+// Storage is 64-byte aligned (util/aligned.hpp): data() is always a valid
+// aligned-load target for the SIMD microkernel layer, and row(i) is aligned
+// whenever cols() is a multiple of the vector width (mk::kVectorWidth).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -62,10 +67,13 @@ class Matrix {
 
   bool operator==(const Matrix& other) const = default;
 
+  /// Alignment of the storage base pointer.
+  static constexpr std::size_t kAlignment = kNumericAlignment;
+
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<real_t> data_;
+  aligned_real_vector data_;
 };
 
 }  // namespace mdcp

@@ -6,6 +6,7 @@
 
 #include "csf/csf_tensor.hpp"
 #include "dtree/dtree_engine.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "sched/schedule.hpp"
 #include "tensor/generator.hpp"
 #include "util/error.hpp"
@@ -30,6 +31,10 @@ StrategyPrediction predict_strategy(const CooTensor& tensor,
   spec.validate(tensor.order());
   StrategyPrediction pred;
   const double r = static_cast<double>(rank);
+  // Vector-width-aware flop term: the microkernel issues whole SIMD lanes,
+  // so an awkward rank (e.g. 17) pays for the next multiple of the vector
+  // width. Byte terms keep the true r — memory traffic is not padded.
+  const double rv = static_cast<double>(mk::padded_rank(rank));
 
   // Per-leaf path costs, used for the peak-value-memory bound.
   std::vector<std::size_t> path_value_bytes;
@@ -50,7 +55,7 @@ StrategyPrediction predict_strategy(const CooTensor& tensor,
           nc.parent_tuples = parent_tuples;
           nc.delta = mode_count(parent_set & ~ms);
           const double pt = static_cast<double>(parent_tuples);
-          nc.flops = pt * r * (nc.delta + 1);
+          nc.flops = pt * rv * (nc.delta + 1);
           nc.bytes = pt * (r * sizeof(real_t)                 // parent row
                            + nc.delta * r * sizeof(real_t)    // factor rows
                            + sizeof(nnz_t))                   // reduction id
@@ -216,15 +221,19 @@ double predict_engine_seconds(const CooTensor& tensor,
                               const CostModelParams& params) {
   const double n = static_cast<double>(tensor.nnz());
   const double r = static_cast<double>(rank);
+  // Rank-blocked engines issue whole SIMD lanes, so their flop term uses
+  // the padded rank; ttv-chain contracts column-at-a-time (no rank loop)
+  // and keeps the true r.
+  const double rv = static_cast<double>(mk::padded_rank(rank));
   const double ord = static_cast<double>(tensor.order());
   // Per-sweep (all modes) element work; the relative weights express the
   // well-known ordering coo ≈ bcoo > csf (fiber sharing) ≪ ttv-chain
   // (re-contracts the whole tensor per column).
   double flops = 0;
   if (engine == "coo" || engine == "bcoo") {
-    flops = ord * n * r * ord;
+    flops = ord * n * rv * ord;
   } else if (engine == "csf" || engine == "csf1") {
-    flops = ord * n * r * 2;  // fiber sharing amortizes the Hadamard chain
+    flops = ord * n * rv * 2;  // fiber sharing amortizes the Hadamard chain
   } else if (engine == "ttv-chain") {
     flops = ord * n * r * ord * 2;  // + per-column collapse sorting costs
   } else {

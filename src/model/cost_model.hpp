@@ -51,6 +51,9 @@ struct NodeCostEstimate {
 };
 
 struct StrategyPrediction {
+  /// Flop terms are vector-width-aware: the shared microkernel issues whole
+  /// SIMD lanes, so ranks are charged at mk::padded_rank(r) (e.g. R=17 costs
+  /// 24 lanes per row op). Byte terms use the true rank.
   double flops_per_iteration = 0;
   double bytes_per_iteration = 0;
   double seconds_per_iteration = 0;

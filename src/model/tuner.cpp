@@ -330,6 +330,7 @@ void AutoEngine::do_compute(mode_t mode, const std::vector<Matrix>& factors,
                       after.privatized_launches - before.privatized_launches,
                       /*bump_metrics=*/false);
     }
+    record_tile(after.last_tile);
     return;
   }
 }

@@ -1,6 +1,7 @@
 #include "mttkrp/blocked_coo.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 
 #include "sched/reduce.hpp"
@@ -110,8 +111,9 @@ void BlockedCooEngine::do_prepare(index_t rank) {
       plan.max_group = std::max(plan.max_group, w);
     }
   }
+  mk_ = mk::Kernel(rank);
   if (rank > 0)
-    workspace().reserve(effective_threads(), rank * sizeof(real_t));
+    workspace().reserve(effective_threads(), mk_.padded() * sizeof(real_t));
 }
 
 void BlockedCooEngine::do_compute(mode_t mode,
@@ -138,26 +140,44 @@ void BlockedCooEngine::do_compute(mode_t mode,
   const sched::Decision d =
       sched::choose_schedule(shape, effective_threads(), schedule_mode());
   record_schedule(d);
+  if (mk_.rank() != r) mk_ = mk::Kernel(r);
+  record_tile(mk_.tile());
+  const mk::Kernel mk = mk_;
+
+  std::array<mode_t, kMaxOrder> oth{};
+  mode_t no = 0;
+  for (mode_t m = 0; m < order_; ++m)
+    if (m != mode) oth[no++] = m;
 
   // Accumulates blocks perm[group_start[g]+begin, group_start[g]+end) of
   // base group g into `dst` (the output matrix or a private partial slab).
+  // `tmp` is a slab-origin Hadamard accumulator (64-byte aligned).
   const auto accumulate = [&](nnz_t g, nnz_t begin, nnz_t end, real_t* tmp,
                               real_t* dst) {
+    tmp = mk::assume_aligned(tmp);
     for (nnz_t bp = plan.group_start[g] + begin; bp < plan.group_start[g] + end;
          ++bp) {
       const nnz_t blk = plan.perm[bp];
       const index_t* base = &block_base_[blk * order_];
       for (nnz_t p = block_ptr_[blk]; p < block_ptr_[blk + 1]; ++p) {
         const real_t v = vals_[p];
-        for (index_t k = 0; k < r; ++k) tmp[k] = v;
-        for (mode_t m = 0; m < order_; ++m) {
-          if (m == mode) continue;
-          const auto frow = factors[m].row(base[m] + local_[m][p]);
-          for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
-        }
         real_t* drow =
             dst + static_cast<nnz_t>(base[mode] + local_[mode][p]) * r;
-        for (index_t k = 0; k < r; ++k) drow[k] += tmp[k];
+        const auto frow = [&](mode_t j) {
+          const mode_t m = oth[j];
+          return factors[m].row(base[m] + local_[m][p]).data();
+        };
+        if (no == 2) {
+          mk.fused2_accum(drow, frow(0), frow(1), v);
+        } else if (no == 3) {
+          mk.fused3_accum(drow, frow(0), frow(1), frow(2), v);
+        } else if (no == 1) {
+          mk.axpy_accum(drow, frow(0), v);
+        } else {
+          mk.fill(tmp, v);
+          for (mode_t j = 0; j < no; ++j) mk.hadamard(tmp, frow(j));
+          mk.accum(drow, tmp);
+        }
       }
     }
   };
@@ -170,10 +190,10 @@ void BlockedCooEngine::do_compute(mode_t mode,
         plan.owner, d.tiles,
         [&](int n) { return sched::tile_groups(plan.group_nnz, n); });
     // Serial scratch acquisition: growth must not throw inside the region.
-    ws.reserve(effective_threads(), r * sizeof(real_t));
+    ws.reserve(effective_threads(), mk_.padded() * sizeof(real_t));
 #pragma omp parallel
     {
-      const auto tmp = ws.thread_scratch<real_t>(r);
+      const auto tmp = ws.thread_scratch<real_t>(mk_.padded());
 #pragma omp for schedule(dynamic, 1)
       for (int tile = 0; tile < tp.tiles(); ++tile) {
         // Whole base groups: each owns output rows [base, base+2^bits).
@@ -190,15 +210,18 @@ void BlockedCooEngine::do_compute(mode_t mode,
           return sched::tile_items_split(plan.block_nnz, plan.group_start, n);
         });
     const nnz_t out_elems = static_cast<nnz_t>(shape_[mode]) * r;
-    ws.reserve(effective_threads(), (out_elems + r) * sizeof(real_t));
+    ws.reserve(effective_threads(),
+               (mk_.padded() + out_elems) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {
       const int team = team_size();
       const int tid = thread_id();
-      const auto slab = ws.thread_scratch<real_t>(out_elems + r);
-      real_t* partial = slab.data();
-      real_t* tmp = partial + out_elems;
+      // Accumulator first (padded stride) so both it and the partial slab
+      // stay 64-byte aligned.
+      const auto slab = ws.thread_scratch<real_t>(mk_.padded() + out_elems);
+      real_t* tmp = slab.data();
+      real_t* partial = tmp + mk_.padded();
       std::fill(partial, partial + out_elems, real_t{0});
       parts.publish(tid, partial);
       for (int tile = tid; tile < tp.tiles(); tile += team) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mttkrp/engine.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "sched/partition.hpp"
 
 namespace mdcp {
@@ -72,6 +73,7 @@ class BlockedCooEngine final : public MttkrpEngine {
   std::vector<std::vector<std::uint8_t>> local_;  // [mode][nnz]
   std::vector<real_t> vals_;
   std::vector<ModePlan> plans_;  // one per mode
+  mk::Kernel mk_;                // rank-blocked dispatcher, set per prepare()
 };
 
 }  // namespace mdcp

@@ -1,6 +1,7 @@
 #include "mttkrp/coo_mttkrp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 
 #include "sched/reduce.hpp"
@@ -39,8 +40,10 @@ void CooMttkrpEngine::do_prepare(index_t rank) {
       plan.max_group =
           std::max(plan.max_group, plan.row_start[g + 1] - plan.row_start[g]);
   }
+  mk_ = mk::Kernel(rank);
   if (rank > 0)
-    workspace().reserve(effective_threads(), rank * sizeof(real_t));
+    workspace().reserve(effective_threads(),
+                        mk_.padded() * sizeof(real_t));
 }
 
 void CooMttkrpEngine::do_compute(mode_t mode,
@@ -64,22 +67,42 @@ void CooMttkrpEngine::do_compute(mode_t mode,
   const sched::Decision d =
       sched::choose_schedule(shape, effective_threads(), schedule_mode());
   record_schedule(d);
+  if (mk_.rank() != r) mk_ = mk::Kernel(r);
+  record_tile(mk_.tile());
+  const mk::Kernel mk = mk_;
+
+  // Modes other than the output mode, resolved once so the per-nonzero loop
+  // can take the fused order-3/4 microkernel paths without re-scanning.
+  std::array<mode_t, kMaxOrder> oth{};
+  mode_t no = 0;
+  for (mode_t m = 0; m < order; ++m)
+    if (m != mode) oth[no++] = m;
 
   // Accumulates the nonzeros perm[row_start[g]+begin, row_start[g]+end)
   // of row group g into `dst` (the output row or a private partial row).
+  // `tmp` is a slab-origin Hadamard accumulator (64-byte aligned).
   const auto accumulate = [&](nnz_t g, nnz_t begin, nnz_t end, real_t* tmp,
                               real_t* dst) {
+    tmp = mk::assume_aligned(tmp);
     for (nnz_t p = plan.row_start[g] + begin; p < plan.row_start[g] + end;
          ++p) {
       const nnz_t i = plan.perm[p];
       const real_t v = t.value(i);
-      for (index_t k = 0; k < r; ++k) tmp[k] = v;
-      for (mode_t m = 0; m < order; ++m) {
-        if (m == mode) continue;
-        const auto frow = factors[m].row(t.index(m, i));
-        for (index_t k = 0; k < r; ++k) tmp[k] *= frow[k];
+      if (no == 2) {
+        mk.fused2_accum(dst, factors[oth[0]].row(t.index(oth[0], i)).data(),
+                        factors[oth[1]].row(t.index(oth[1], i)).data(), v);
+      } else if (no == 3) {
+        mk.fused3_accum(dst, factors[oth[0]].row(t.index(oth[0], i)).data(),
+                        factors[oth[1]].row(t.index(oth[1], i)).data(),
+                        factors[oth[2]].row(t.index(oth[2], i)).data(), v);
+      } else if (no == 1) {
+        mk.axpy_accum(dst, factors[oth[0]].row(t.index(oth[0], i)).data(), v);
+      } else {
+        mk.fill(tmp, v);
+        for (mode_t j = 0; j < no; ++j)
+          mk.hadamard(tmp, factors[oth[j]].row(t.index(oth[j], i)).data());
+        mk.accum(dst, tmp);
       }
-      for (index_t k = 0; k < r; ++k) dst[k] += tmp[k];
     }
   };
   const auto group_size = [&](nnz_t g) {
@@ -93,10 +116,10 @@ void CooMttkrpEngine::do_compute(mode_t mode,
     // Scratch is acquired serially, up front: a budget trip or allocation
     // failure inside the parallel region could not propagate (an exception
     // escaping an OpenMP structured block terminates).
-    ws.reserve(effective_threads(), r * sizeof(real_t));
+    ws.reserve(effective_threads(), mk_.padded() * sizeof(real_t));
 #pragma omp parallel
     {
-      const auto tmp = ws.thread_scratch<real_t>(r);
+      const auto tmp = ws.thread_scratch<real_t>(mk_.padded());
 #pragma omp for schedule(dynamic, 1)
       for (int tile = 0; tile < tp.tiles(); ++tile) {
         sched::for_each_group_range(
@@ -110,17 +133,19 @@ void CooMttkrpEngine::do_compute(mode_t mode,
         plan.split, d.tiles,
         [&](int n) { return sched::tile_groups_split(plan.row_start, n); });
     const nnz_t out_elems = static_cast<nnz_t>(t.dim(mode)) * r;
-    ws.reserve(effective_threads(), (out_elems + r) * sizeof(real_t));
+    ws.reserve(effective_threads(),
+               (mk_.padded() + out_elems) * sizeof(real_t));
     sched::PartialSet parts;
 #pragma omp parallel
     {
       const int team = team_size();
       const int tid = thread_id();
-      // One slab per thread: partial output (dim × R) followed by the
-      // length-R Hadamard accumulator.
-      const auto slab = ws.thread_scratch<real_t>(out_elems + r);
-      real_t* partial = slab.data();
-      real_t* tmp = partial + out_elems;
+      // One slab per thread: the Hadamard accumulator first (padded stride,
+      // so both it and the partial slab behind it stay 64-byte aligned),
+      // then the partial output (dim × R).
+      const auto slab = ws.thread_scratch<real_t>(mk_.padded() + out_elems);
+      real_t* tmp = slab.data();
+      real_t* partial = tmp + mk_.padded();
       std::fill(partial, partial + out_elems, real_t{0});
       parts.publish(tid, partial);
       // Static tile→thread assignment: the work each thread accumulates is

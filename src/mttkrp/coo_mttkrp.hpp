@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mttkrp/engine.hpp"
+#include "mttkrp/microkernel.hpp"
 #include "sched/partition.hpp"
 
 namespace mdcp {
@@ -49,6 +50,7 @@ class CooMttkrpEngine final : public MttkrpEngine {
   };
 
   std::vector<ModePlan> plans_;  // one per mode
+  mk::Kernel mk_;                // rank-blocked dispatcher, set per prepare()
 };
 
 }  // namespace mdcp

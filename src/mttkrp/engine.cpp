@@ -172,6 +172,12 @@ void MttkrpEngine::record_schedule(const sched::Decision& d,
   if (ctx_.stats != nullptr) update(*ctx_.stats);
 }
 
+void MttkrpEngine::record_tile(index_t tile) noexcept {
+  MDCP_TRACE_SPAN("mk.tile", "width", static_cast<std::int64_t>(tile));
+  stats_.last_tile = tile;
+  if (ctx_.stats != nullptr) ctx_.stats->last_tile = tile;
+}
+
 void MttkrpEngine::record_degradation(const char* reason) noexcept {
   ++stats_.degradations;
   stats_.last_degradation_reason = reason;

@@ -121,6 +121,12 @@ class MttkrpEngine {
   /// "alloc-failure").
   void record_degradation(const char* reason) noexcept;
 
+  /// Records the microkernel R-tile width selected for this compute() (see
+  /// mttkrp/microkernel.hpp) into the stats sinks and a trace span, so bench
+  /// meta and `mdcp_cli profile` can attribute roofline deltas to the tile
+  /// actually run. `tile` ∈ {32, 16, 8, 0}.
+  void record_tile(index_t tile) noexcept;
+
   /// Schedule override from the context (kAuto = per-mode heuristic).
   ScheduleMode schedule_mode() const noexcept { return ctx_.sched; }
 

@@ -71,6 +71,7 @@ class DeferredDTreeEngine final : public MttkrpEngine {
                       after.privatized_launches - before.privatized_launches,
                       /*bump_metrics=*/false);
     }
+    record_tile(after.last_tile);
   }
 
  private:

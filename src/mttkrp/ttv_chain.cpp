@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "mttkrp/microkernel.hpp"
 #include "sched/partition.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -36,7 +37,8 @@ void TtvChainEngine::ColumnWork::load(const CooTensor& tensor) {
 // erased.
 void TtvChainEngine::ColumnWork::ttv(std::size_t pos, const Matrix& factor,
                                      index_t column) {
-  for (nnz_t i = 0; i < size(); ++i) vals[i] *= factor(idx[pos][i], column);
+  mk::gather_scale(vals.data(), idx[pos].data(), factor.data() + column,
+                   factor.cols(), size());
   std::rotate(idx.begin() + static_cast<std::ptrdiff_t>(pos),
               idx.begin() + static_cast<std::ptrdiff_t>(pos) + 1, idx.end());
   live_modes.erase(live_modes.begin() + static_cast<std::ptrdiff_t>(pos));
@@ -120,6 +122,9 @@ void TtvChainEngine::do_compute(mode_t mode,
   const sched::Decision d =
       sched::choose_schedule(shape, effective_threads(), schedule_mode());
   record_schedule(d);
+  // No rank-blocked inner loop here — the chain contracts one column at a
+  // time (parallelism is column-wise), so the honest tile report is scalar.
+  record_tile(0);
   const sched::TilePlan& tp = sched::cached_tiles(
       tiles_, d.tiles,
       [&](int n) { return sched::tile_uniform(static_cast<nnz_t>(r), n); });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "mttkrp/microkernel.hpp"
 #include "util/error.hpp"
 
 namespace mdcp {
@@ -88,6 +89,7 @@ SemiSparseTensor ttm(const CooTensor& x, mode_t mode, const Matrix& u) {
   z.values.resize(static_cast<index_t>(groups), r, 0);
   for (auto& arr : z.idx) arr.reserve(groups);
 
+  const mk::Kernel mk(r);
   nnz_t g = 0;
   for (nnz_t p = 0; p < perm.size(); ++p) {
     const nnz_t i = perm[p];
@@ -97,10 +99,8 @@ SemiSparseTensor ttm(const CooTensor& x, mode_t mode, const Matrix& u) {
       for (std::size_t mp = 0; mp < z.modes.size(); ++mp)
         z.idx[mp].push_back(x.index(z.modes[mp], i));
     }
-    auto row = z.values.row(static_cast<index_t>(g));
-    const auto urow = u.row(x.index(mode, i));
-    const real_t val = x.value(i);
-    for (index_t k = 0; k < r; ++k) row[k] += val * urow[k];
+    mk.axpy_accum(z.values.row(static_cast<index_t>(g)).data(),
+                  u.row(x.index(mode, i)).data(), x.value(i));
   }
   return z;
 }

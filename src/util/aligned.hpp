@@ -1,0 +1,58 @@
+// Over-aligned heap allocation for numeric containers.
+//
+// The SIMD microkernel layer (mttkrp/microkernel.hpp) assumes its
+// accumulator pointers sit on 64-byte boundaries. Workspace slabs already
+// guarantee that; this allocator extends the guarantee to la::Matrix row
+// storage (and any other std::vector of reals on the numeric path), so the
+// base pointer of every factor matrix, output matrix, and partial slab is a
+// valid aligned-load target.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mdcp {
+
+/// Alignment (bytes) shared by workspace slabs, matrix storage, and the
+/// microkernel's assume_aligned contract: one x86 cache line / AVX-512
+/// vector.
+inline constexpr std::size_t kNumericAlignment = 64;
+
+/// Minimal C++17-style allocator that over-aligns every allocation.
+template <typename T, std::size_t Alignment = kNumericAlignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of 2");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  constexpr AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Value storage for dense numeric containers on the microkernel path.
+using aligned_real_vector = std::vector<real_t, AlignedAllocator<real_t>>;
+
+}  // namespace mdcp

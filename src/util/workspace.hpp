@@ -18,12 +18,19 @@
 #include <span>
 #include <type_traits>
 
+#include "util/aligned.hpp"
+
 namespace mdcp {
 
 class Workspace {
  public:
-  /// Slab alignment (one x86 cache line / AVX-512 vector).
-  static constexpr std::size_t kAlignment = 64;
+  /// Slab alignment (one x86 cache line / AVX-512 vector). Matches the
+  /// matrix-storage alignment so the microkernel's assume_aligned contract
+  /// holds for every slab-origin accumulator pointer.
+  static constexpr std::size_t kAlignment = kNumericAlignment;
+  static_assert(kAlignment % sizeof(real_t) == 0 &&
+                    (kAlignment & (kAlignment - 1)) == 0,
+                "slab stride must be a power-of-two multiple of real_t");
   /// Upper bound on concurrently served thread ids.
   static constexpr int kMaxThreads = 256;
 
@@ -148,6 +155,11 @@ struct KernelStats {
   /// "single-thread", "forced-owner", ...).
   const char* last_sched_reason = "";
 
+  // Microkernel telemetry (see mttkrp/microkernel.hpp): the R-tile width the
+  // rank-blocked dispatcher selected for the most recent compute() (32, 16,
+  // or 8; 0 = scalar remainder only, i.e. R < 8 or no rank-blocked loop).
+  std::uint32_t last_tile = 0;
+
   // Fault-tolerance telemetry: engine fallbacks taken by the degradation
   // chain when a predicted or actual allocation exceeded the memory budget
   // (see model/tuner.hpp).
@@ -173,6 +185,7 @@ struct KernelStats {
     d.last_schedule = last_schedule;
     d.last_tiles = last_tiles;
     d.last_sched_reason = last_sched_reason;
+    d.last_tile = last_tile;
     d.degradations = degradations - baseline.degradations;
     d.last_degradation_reason = last_degradation_reason;
     return d;

@@ -114,7 +114,10 @@ void run_order(mode_t order, const shape_t& shape, nnz_t nnz) {
     const CooTensor t = make_pattern(pattern, shape, nnz, seed);
     ASSERT_GT(t.nnz(), 0u);
 
-    for (index_t rank : {index_t{1}, index_t{7}, index_t{16}}) {
+    // Ranks bracket every microkernel tile-cascade case: scalar tail only
+    // (1, 7), 8-tile + tail (15), exact 16-tile (16), 16-tile + tail (17).
+    for (index_t rank : {index_t{1}, index_t{7}, index_t{15}, index_t{16},
+                         index_t{17}}) {
       const auto factors = random_factors(t, rank, splitmix64(seed + rank));
       std::vector<Matrix> oracle;
       for (mode_t m = 0; m < order; ++m)

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 
+#include "mttkrp/microkernel.hpp"
 #include "mttkrp/registry.hpp"
 #include "tensor/generator.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/workspace.hpp"
 
 namespace mdcp {
 namespace {
@@ -188,6 +192,77 @@ TEST(Runtime, InvalidateAllReleasesValueMatrices) {
     engine->invalidate_all();
     EXPECT_EQ(engine->memory_bytes(), symbolic_only) << name;
     EXPECT_GE(engine->peak_memory_bytes(), with_values) << name;
+  }
+}
+
+TEST(Runtime, WorkspaceSlabsHonorMicrokernelAlignment) {
+  // The microkernel's assume_aligned contract: every thread's slab base must
+  // be 64-byte aligned for any slab size and any thread count, including
+  // after growth reallocations.
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % mk::kAlignment == 0;
+  };
+  static_assert(Workspace::kAlignment % mk::kAlignment == 0,
+                "workspace slabs must satisfy the microkernel contract");
+  Workspace ws;
+  for (const std::size_t reals : {1u, 3u, 17u, 100u, 4099u}) {
+    ws.reserve(4, reals * sizeof(real_t));
+    struct ThreadRestore {
+      ~ThreadRestore() { set_num_threads(1); }
+    } restore;
+    set_num_threads(4);
+#pragma omp parallel
+    {
+      const auto slab = ws.thread_scratch<real_t>(reals);
+#pragma omp critical
+      {
+        EXPECT_TRUE(aligned(slab.data())) << "size " << reals;
+        EXPECT_GE(slab.size(), reals);
+      }
+    }
+  }
+}
+
+TEST(Runtime, MatrixStorageHonorsMicrokernelAlignment) {
+  // la::Matrix base storage is 64-byte aligned (rows additionally so when
+  // cols is a multiple of the vector width — the padded-rank layouts the
+  // engines carve scratch with).
+  static_assert(Matrix::kAlignment % mk::kAlignment == 0,
+                "matrix storage must satisfy the microkernel contract");
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % mk::kAlignment == 0;
+  };
+  Rng rng(404);
+  for (const index_t cols : {1u, 7u, 8u, 17u, 32u}) {
+    Matrix m = Matrix::random_uniform(13, cols, rng);
+    EXPECT_TRUE(aligned(m.data())) << cols;
+    if (cols % mk::kVectorWidth == 0) {
+      for (index_t i = 0; i < m.rows(); ++i)
+        ASSERT_TRUE(aligned(m.row(i).data())) << cols << " row " << i;
+    }
+    // Growth through resize must preserve the base alignment.
+    m.resize(257, cols, 0);
+    EXPECT_TRUE(aligned(m.data())) << cols << " after resize";
+  }
+}
+
+TEST(Runtime, EnginesRecordMicrokernelTile) {
+  // Every rank-blocked engine reports the tile its last compute dispatched;
+  // ttv-chain truthfully reports 0 (its parallelism is column-wise, there is
+  // no rank-blocked inner loop). The auto engine mirrors its inner choice.
+  const auto t = testing::small_tensor(3, 10, 80, 401);
+  for (const auto rank : {index_t{7}, index_t{16}, index_t{33}}) {
+    const auto factors = random_factors(t, rank, 402 + rank);
+    for (const auto& name : EngineRegistry::instance().names()) {
+      if (name == "auto+probe") continue;  // probing benchmarks itself
+      const auto engine = make_engine(name, t, rank);
+      Matrix out;
+      engine->compute(0, factors, out);
+      const std::uint32_t expect =
+          name == "ttv-chain" ? 0u : mk::select_tile(rank);
+      EXPECT_EQ(engine->stats().last_tile, expect)
+          << name << " rank " << rank;
+    }
   }
 }
 

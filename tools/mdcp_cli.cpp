@@ -405,6 +405,7 @@ struct ProfileRow {
   mdcp::mode_t mode = 0;
   double seconds = 0;
   double flops = 0;
+  std::uint32_t tile = 0;    // microkernel tile width (0 = scalar)
   obs::PerfValues counters;  // deltas over the timed reps
   obs::RooflineSample sample;
   obs::RooflineAttribution attr;
@@ -514,6 +515,7 @@ int cmd_profile(const Args& args) {
       if (set != nullptr) row.counters = set->read_values().since(before);
       const KernelStats delta = engine->stats().since(before_stats);
       row.flops = static_cast<double>(delta.flops);
+      row.tile = delta.last_tile;
 
       row.sample.seconds = row.seconds;
       row.sample.flops = row.flops;
@@ -574,6 +576,7 @@ int cmd_profile(const Args& args) {
           .kv("mode", static_cast<std::uint64_t>(row.mode))
           .kv("seconds", row.seconds)
           .kv("flops", row.flops)
+          .kv("tile", static_cast<std::uint64_t>(row.tile))
           .kv("gflops", row.attr.gflops)
           .kv("pct_compute", row.attr.pct_compute);
       if (row.attr.has_bytes) {
@@ -615,11 +618,12 @@ int cmd_profile(const Args& args) {
   }
 
   if (!json) {
-    std::printf("\n%-12s %-5s %-10s %-9s %-7s %-10s %-7s %-6s\n", "engine",
-                "mode", "time", "gflops", "%fma", "flop/B", "%bw", "bound");
+    std::printf("\n%-12s %-5s %-5s %-10s %-9s %-7s %-10s %-7s %-6s\n",
+                "engine", "mode", "tile", "time", "gflops", "%fma", "flop/B",
+                "%bw", "bound");
     for (const ProfileRow& row : rows) {
-      std::printf("%-12s %-5u %-10s %-9.3f %-7.2f", row.engine.c_str(),
-                  row.mode, fmt_secs(row.seconds).c_str(),
+      std::printf("%-12s %-5u %-5u %-10s %-9.3f %-7.2f", row.engine.c_str(),
+                  row.mode, row.tile, fmt_secs(row.seconds).c_str(),
                   row.attr.gflops, row.attr.pct_compute);
       if (row.attr.has_bytes) {
         std::printf(" %-10.3f %-7.2f %-6s\n", row.attr.intensity,
