@@ -9,6 +9,7 @@
 #include "la/cholesky.hpp"
 #include "model/tuner.hpp"
 #include "mttkrp/registry.hpp"
+#include "obs/history.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -42,14 +43,24 @@ namespace {
 // their degradation chain. Engines are created *unprepared*: cp_als prepares
 // lazily, which keeps prepare-time degradation events inside the run's
 // reporting window.
+// Empirical-overlay knobs forwarded from the ALS options into the tuner.
+TunerOptions tuner_options_from(const CpAlsOptions& options) {
+  TunerOptions t;
+  t.use_history = options.use_history && options.history != nullptr;
+  t.history = options.history;
+  t.trust.min_weight = options.history_min_weight;
+  return t;
+}
+
 std::unique_ptr<MttkrpEngine> make_named_engine_unprepared(
-    const std::string& name, std::size_t memory_budget_bytes) {
+    const std::string& name, std::size_t memory_budget_bytes,
+    const TunerOptions& tuner_options = {}) {
   KernelContext ctx;
   ctx.mem_budget = memory_budget_bytes;
   if (name == "auto" || name == "auto+probe") {
     return std::make_unique<AutoEngine>(name == "auto+probe",
                                         memory_budget_bytes, CostModelParams{},
-                                        3, ctx);
+                                        3, ctx, tuner_options);
   }
   return make_engine(name, ctx);
 }
@@ -75,8 +86,8 @@ CpAlsResult cp_als(const CooTensor& tensor, const CpAlsOptions& options) {
   const std::string name = options.engine_name.empty()
                                ? engine_kind_name(options.engine)
                                : options.engine_name;
-  const auto engine =
-      make_named_engine_unprepared(name, options.memory_budget_bytes);
+  const auto engine = make_named_engine_unprepared(
+      name, options.memory_budget_bytes, tuner_options_from(options));
   return cp_als(tensor, *engine, options);
 }
 
@@ -86,8 +97,8 @@ CpAlsResult cp_als_best_of(const CooTensor& tensor,
   const std::string name = options.engine_name.empty()
                                ? engine_kind_name(options.engine)
                                : options.engine_name;
-  const auto engine =
-      make_named_engine_unprepared(name, options.memory_budget_bytes);
+  const auto engine = make_named_engine_unprepared(
+      name, options.memory_budget_bytes, tuner_options_from(options));
   CpAlsResult best;
   for (int s = 0; s < num_starts; ++s) {
     CpAlsOptions opt = options;
@@ -362,6 +373,13 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   // predate this run (it is a process-lifetime bound, not a per-run one).
   result.kernel_stats = engine.stats().since(stats_before);
   result.engine_peak_memory_bytes = engine.peak_memory_bytes();
+  // Fixed engines never set KernelStats::plan_source — there was no plan to
+  // choose. Spell that "fixed" so report consumers can tell it apart from a
+  // model-driven run that predates the field.
+  result.plan_source = (result.kernel_stats.plan_source != nullptr &&
+                        result.kernel_stats.plan_source[0] != '\0')
+                           ? result.kernel_stats.plan_source
+                           : "fixed";
 
   if (auto_engine != nullptr) {
     const auto& prediction = auto_engine->report().winner().prediction;
@@ -416,6 +434,8 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
         .kv("type", "summary")
         .kv("schema", obs::kReportSchema)
         .kv("engine", result.engine_name)
+        .kv("rank", static_cast<std::uint64_t>(rank))
+        .kv("plan_source", result.plan_source)
         .kv("iterations", result.iterations)
         .kv("converged", result.converged)
         .kv("final_fit", static_cast<double>(result.final_fit()))
@@ -425,6 +445,18 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
         .kv("fit_seconds", result.fit_seconds);
     w.key("mttkrp_mode_seconds").begin_array();
     for (mode_t n = 0; n < order; ++n) w.value(result.mttkrp_mode_seconds[n]);
+    w.end_array();
+    // Per-mode latency distribution of the process-lifetime histograms
+    // (log-bucketed, ~19% quantile error; see obs/metrics.hpp). These span
+    // every run in this process, not just this one.
+    w.key("mttkrp_mode_quantiles").begin_array();
+    for (mode_t n = 0; n < order; ++n) {
+      w.begin_object()
+          .kv("p50", mode_latency[n]->p50())
+          .kv("p95", mode_latency[n]->p95())
+          .kv("p99", mode_latency[n]->p99())
+          .end_object();
+    }
     w.end_array();
     append_kernel_stats(w, result.kernel_stats);
     w.kv("recoveries", result.recoveries)
@@ -447,6 +479,32 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     }
     w.end_array().end_object();
     options.reporter->write_line(w.str());
+  }
+
+  // Feed the outcome back into the history store so repeat runs in this
+  // process warm-start without re-reading the report directory. Mirrors the
+  // observation the ingester would extract from this run's report.
+  if (options.history != nullptr && result.iterations > 0) {
+    obs::RunObservation o;
+    o.fingerprint = obs::tensor_fingerprint(tensor);
+    o.engine_label = result.engine_name;
+    o.strategy = obs::strategy_from_engine_label(result.engine_name);
+    o.rank = static_cast<std::uint32_t>(rank);
+    o.threads = engine.context().threads;
+    o.build_id = obs::HistoryStore::current_build_id();
+    o.machine_id = obs::HistoryStore::current_machine_id();
+    o.iterations = result.iterations;
+    const double iters = static_cast<double>(result.iterations);
+    o.seconds_per_iteration = result.mttkrp_seconds / iters;
+    o.mode_seconds.reserve(order);
+    for (mode_t n = 0; n < order; ++n)
+      o.mode_seconds.push_back(result.mttkrp_mode_seconds[n] / iters);
+    if (o.seconds_per_iteration > 0)
+      o.time_error_ratio =
+          result.predicted_seconds_per_iteration / o.seconds_per_iteration;
+    o.final_fit = static_cast<double>(result.final_fit());
+    o.plan_source = result.plan_source;
+    options.history->record(std::move(o));
   }
   return result;
 }

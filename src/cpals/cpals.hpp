@@ -19,6 +19,7 @@
 namespace mdcp {
 
 namespace obs {
+class HistoryStore;
 class RunReporter;
 }  // namespace obs
 
@@ -80,6 +81,19 @@ struct CpAlsOptions {
   /// record at the end. The caller owns the reporter (and typically writes
   /// the provenance header first); see obs/report.hpp.
   obs::RunReporter* reporter = nullptr;
+  /// Optional cross-run history store (see obs/history.hpp). When set, the
+  /// model-driven engines (auto / auto+probe) consult the measured-best
+  /// plan for this tensor before trusting the analytic ranking, and the
+  /// run's outcome is recorded back so later runs warm-start. The caller
+  /// owns the store.
+  obs::HistoryStore* history = nullptr;
+  /// Master switch for the empirical overlay (the CLI's --no-history).
+  /// Recording the outcome into `history` still happens when off.
+  bool use_history = true;
+  /// Warm-start threshold: trust-weighted observations a strategy needs
+  /// before history may override the model (same build/machine runs weigh
+  /// 1 each; see obs::TrustPolicy).
+  double history_min_weight = 1.0;
 };
 
 struct CpAlsResult {
@@ -122,6 +136,11 @@ struct CpAlsResult {
   // experiment reproducible from any ordinary run.
   double predicted_seconds_per_iteration = 0;
   std::size_t predicted_memory_bytes = 0;
+
+  /// How the executed plan was chosen: "model" (analytic ranking),
+  /// "history" (measured-best override), or "fixed" (the engine was not
+  /// model-driven). Mirrored into the JSONL summary record.
+  std::string plan_source;
 
   real_t final_fit() const { return fits.empty() ? 0 : fits.back(); }
 };

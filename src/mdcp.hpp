@@ -35,6 +35,7 @@
 #include "mttkrp/registry.hpp"
 #include "mttkrp/ttv_chain.hpp"
 #include "obs/clock.hpp"
+#include "obs/history.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <new>
 #include <sstream>
+#include <string_view>
 
 #include "mttkrp/registry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -27,11 +29,44 @@ void record_selection(const TunerReport& report) {
       .set(static_cast<double>(win.prediction.total_memory_bytes()));
 }
 
+// The empirical overlay: once the history store holds enough trusted
+// measurements of a strategy for this exact (tensor fingerprint, rank),
+// prefer the measured winner over the analytic ranking. Only budget-feasible
+// candidates are eligible — a measured-fast plan that no longer fits the
+// budget must not resurrect itself. Returns true when the override fired.
+bool apply_history_overlay(const CooTensor& tensor, index_t rank,
+                           TunerReport& report, const TunerOptions& options) {
+  if (!options.use_history || options.history == nullptr ||
+      options.history->empty())
+    return false;
+  auto& reg = obs::MetricsRegistry::instance();
+  const std::uint64_t fp = obs::tensor_fingerprint(tensor);
+  const auto best = options.history->measured_best(
+      fp, static_cast<std::uint32_t>(rank), options.trust);
+  if (best) {
+    for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+      if (report.ranked[i].fits_budget &&
+          report.ranked[i].strategy.name == best->strategy) {
+        MDCP_TRACE_SPAN("tuner.history", "candidate",
+                        static_cast<std::int64_t>(i));
+        report.chosen = i;
+        report.plan_source = "history";
+        reg.counter("tuner.history_hits").add();
+        reg.gauge("tuner.history_weight").set(best->weight);
+        return true;
+      }
+    }
+  }
+  reg.counter("tuner.history_misses").add();
+  return false;
+}
+
 }  // namespace
 
 TunerReport select_strategy(const CooTensor& tensor, index_t rank,
                             std::size_t memory_budget_bytes,
-                            const CostModelParams& params) {
+                            const CostModelParams& params,
+                            const TunerOptions& options) {
   MDCP_CHECK(rank > 0);
   MDCP_TRACE_SPAN("tuner.select", "rank", static_cast<std::int64_t>(rank));
   ProjectionCounter counter(tensor);
@@ -68,6 +103,7 @@ TunerReport select_strategy(const CooTensor& tensor, index_t rank,
     }
     report.chosen = best;
   }
+  apply_history_overlay(tensor, rank, report, options);
   record_selection(report);
   return report;
 }
@@ -75,10 +111,14 @@ TunerReport select_strategy(const CooTensor& tensor, index_t rank,
 TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
                                    std::size_t memory_budget_bytes,
                                    const CostModelParams& params,
-                                   int shortlist, KernelContext ctx) {
+                                   int shortlist, KernelContext ctx,
+                                   const TunerOptions& options) {
   MDCP_CHECK(shortlist > 0);
   TunerReport report =
-      select_strategy(tensor, rank, memory_budget_bytes, params);
+      select_strategy(tensor, rank, memory_budget_bytes, params, options);
+  const std::size_t history_choice =
+      std::string_view(report.plan_source) == "history" ? report.chosen
+                                                        : report.ranked.size();
 
   // Probe inputs: fixed-seed factors (probe time, not output, depends on
   // them) shared by all candidates.
@@ -91,9 +131,12 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
   double best_time = -1;
   std::size_t best_idx = report.chosen;
   int probed = 0;
-  for (std::size_t i = 0; i < report.ranked.size() && probed < shortlist;
-       ++i) {
+  for (std::size_t i = 0; i < report.ranked.size(); ++i) {
     if (!report.ranked[i].fits_budget) continue;
+    // A history override outside the model's shortlist is still probed: the
+    // measured winner must defend its title against the shortlist, and the
+    // shortlist must beat it on the clock to take the plan back.
+    if (probed >= shortlist && i != history_choice) continue;
     ++probed;
     MDCP_TRACE_SPAN("tuner.probe", "candidate",
                     static_cast<std::int64_t>(i));
@@ -147,17 +190,21 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
       report.chosen = best;
     }
   }
+  // The override only survives if probing kept the history pick on top.
+  report.plan_source = report.chosen == history_choice ? "history" : "model";
   record_selection(report);  // re-publish: probing may move the winner
   return report;
 }
 
 AutoEngine::AutoEngine(bool probed, std::size_t memory_budget_bytes,
-                       CostModelParams params, int shortlist, KernelContext ctx)
+                       CostModelParams params, int shortlist, KernelContext ctx,
+                       TunerOptions tuner_options)
     : MttkrpEngine(ctx),
       probed_(probed),
       memory_budget_bytes_(memory_budget_bytes),
       params_(params),
-      shortlist_(shortlist) {}
+      shortlist_(shortlist),
+      tuner_options_(std::move(tuner_options)) {}
 
 void AutoEngine::do_prepare(index_t rank) {
   MDCP_CHECK_MSG(rank > 0,
@@ -175,9 +222,11 @@ void AutoEngine::do_prepare(index_t rank) {
   if (params_.threads <= 1) params_.threads = effective_threads();
   report_ = probed_ ? select_strategy_probed(tensor(), rank,
                                              memory_budget_bytes_, params_,
-                                             shortlist_, inner_ctx)
+                                             shortlist_, inner_ctx,
+                                             tuner_options_)
                     : select_strategy(tensor(), rank, memory_budget_bytes_,
-                                      params_);
+                                      params_, tuner_options_);
+  record_plan_source(report_.plan_source);
   const auto& win = report_.winner();
   const char* prefix = probed_ ? "auto+probe:" : "auto:";
 

@@ -14,6 +14,7 @@
 #include "model/cost_model.hpp"
 #include "model/strategy.hpp"
 #include "mttkrp/engine.hpp"
+#include "obs/history.hpp"
 
 namespace mdcp {
 
@@ -26,8 +27,27 @@ struct RankedStrategy {
 struct TunerReport {
   std::vector<RankedStrategy> ranked;  ///< ascending predicted seconds
   std::size_t chosen = 0;              ///< index into `ranked`
+  /// How `chosen` was decided: "model" = analytic ranking (possibly
+  /// probe-corrected), "history" = measured-best override from the run
+  /// history (see TunerOptions).
+  const char* plan_source = "model";
 
   const RankedStrategy& winner() const { return ranked[chosen]; }
+};
+
+/// Empirical-feedback overlay for the tuner. When a history store is
+/// attached and use_history is set, select_strategy() consults the
+/// measured-best plan for this (tensor fingerprint, rank) and — once that
+/// strategy has earned trust.min_weight of trust-weighted observations —
+/// prefers it over the analytic ranking (budget feasibility still wins:
+/// history never overrides onto an over-budget candidate). The probe path
+/// keeps the override only if probing agrees nothing faster was shortlisted.
+struct TunerOptions {
+  bool use_history = true;               ///< master switch (--no-history)
+  const obs::HistoryStore* history = nullptr;  ///< null = overlay disabled
+  /// Trust policy for measured_best(); min_weight is the "warm-start after
+  /// K observations" knob (same build/machine observations weigh 1 each).
+  obs::TrustPolicy trust;
 };
 
 /// One fallback taken by the AutoEngine's degradation chain: a predicted or
@@ -50,7 +70,8 @@ struct DegradationEvent {
 /// if nothing fits, the minimum-memory strategy is chosen and flagged.
 TunerReport select_strategy(const CooTensor& tensor, index_t rank,
                             std::size_t memory_budget_bytes = 0,
-                            const CostModelParams& params = {});
+                            const CostModelParams& params = {},
+                            const TunerOptions& options = {});
 
 /// Hybrid model+probe selection: the analytic model shortlists the
 /// `shortlist` budget-feasible candidates, one real MTTKRP sweep of each is
@@ -62,7 +83,8 @@ TunerReport select_strategy(const CooTensor& tensor, index_t rank,
 TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
                                    std::size_t memory_budget_bytes = 0,
                                    const CostModelParams& params = {},
-                                   int shortlist = 3, KernelContext ctx = {});
+                                   int shortlist = 3, KernelContext ctx = {},
+                                   const TunerOptions& options = {});
 
 /// MTTKRP engine whose strategy is chosen by the tuner at prepare() time.
 /// prepare(tensor, rank) runs the model (rank > 0 required — the prediction
@@ -84,7 +106,7 @@ class AutoEngine final : public MttkrpEngine {
  public:
   explicit AutoEngine(bool probed = false, std::size_t memory_budget_bytes = 0,
                       CostModelParams params = {}, int shortlist = 3,
-                      KernelContext ctx = {});
+                      KernelContext ctx = {}, TunerOptions tuner_options = {});
 
   void factor_updated(mode_t mode) override;
   void invalidate_all() override;
@@ -132,6 +154,7 @@ class AutoEngine final : public MttkrpEngine {
   std::size_t memory_budget_bytes_;
   CostModelParams params_;
   int shortlist_;
+  TunerOptions tuner_options_;
   TunerReport report_;
   std::vector<ChainEntry> chain_;
   std::size_t chain_pos_ = 0;

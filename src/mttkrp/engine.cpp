@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
@@ -176,6 +177,14 @@ void MttkrpEngine::record_tile(index_t tile) noexcept {
   MDCP_TRACE_SPAN("mk.tile", "width", static_cast<std::int64_t>(tile));
   stats_.last_tile = tile;
   if (ctx_.stats != nullptr) ctx_.stats->last_tile = tile;
+}
+
+void MttkrpEngine::record_plan_source(const char* source) noexcept {
+  MDCP_TRACE_SPAN("tuner.plan_source", "history",
+                  static_cast<std::int64_t>(
+                      std::string_view(source) == "history" ? 1 : 0));
+  stats_.plan_source = source;
+  if (ctx_.stats != nullptr) ctx_.stats->plan_source = source;
 }
 
 void MttkrpEngine::record_degradation(const char* reason) noexcept {

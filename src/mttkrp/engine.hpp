@@ -115,6 +115,11 @@ class MttkrpEngine {
                        std::uint64_t privatized_launches,
                        bool bump_metrics = true) noexcept;
 
+  /// Records how the prepared plan was chosen ("model" or "history"; see
+  /// obs/history.hpp) into the stats sinks and the tuner.plan_source trace
+  /// span. `source` must be a static string.
+  void record_plan_source(const char* source) noexcept;
+
   /// Records one degradation-chain fallback (see model/tuner.hpp) into the
   /// stats sinks and the "engine.degradations" metric. `reason` must be a
   /// static string ("predicted-over-budget", "budget-exceeded",

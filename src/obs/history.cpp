@@ -1,0 +1,379 @@
+#include "obs/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace mdcp::obs {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s,
+                    std::uint64_t h = 0xcbf29ce484222325ULL) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Separate fields: hash the delimiter so "ab"+"c" != "a"+"bc".
+  h ^= 0x1fu;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t provenance_build_id(const std::string& compiler,
+                                  const std::string& flags,
+                                  const std::string& build_type) {
+  return fnv1a(build_type, fnv1a(flags, fnv1a(compiler)));
+}
+
+std::uint64_t provenance_machine_id(const std::string& host,
+                                    std::uint64_t hardware_threads) {
+  std::uint64_t h = fnv1a(host);
+  h = fnv1a(std::to_string(hardware_threads), h);
+  return h;
+}
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+std::string strategy_from_engine_label(const std::string& label) {
+  for (const char* prefix : {"auto+probe:", "auto:"}) {
+    if (label.rfind(prefix, 0) == 0) return label.substr(std::strlen(prefix));
+  }
+  return label;
+}
+
+std::uint64_t HistoryStore::current_build_id() {
+  static const std::uint64_t id = [] {
+    const BuildInfo& b = BuildInfo::current();
+    return provenance_build_id(b.compiler, b.flags, b.build_type);
+  }();
+  return id;
+}
+
+std::uint64_t HistoryStore::current_machine_id() {
+  static const std::uint64_t id = provenance_machine_id(
+      BuildInfo::current().host, BuildInfo::current().hardware_threads);
+  return id;
+}
+
+std::optional<RunObservation> HistoryStore::parse_report_file(
+    const std::string& path, HistoryIngestStats* stats) {
+  HistoryIngestStats local;
+  if (stats == nullptr) stats = &local;
+  ++stats->files_scanned;
+
+  std::ifstream in(path);
+  if (!in.good()) {
+    ++stats->files_unparseable;
+    return std::nullopt;
+  }
+
+  const JsonValue* header = nullptr;
+  const JsonValue* summary = nullptr;
+  std::vector<JsonValue> records;  // keep parsed lines alive for the pointers
+  records.reserve(16);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    JsonValue v;
+    if (!json_parse(line, v) || !v.is_object()) {
+      ++stats->files_unparseable;
+      return std::nullopt;
+    }
+    records.push_back(std::move(v));
+  }
+  for (const JsonValue& v : records) {
+    const JsonValue* type = v.find("type", JsonValue::Kind::kString);
+    if (type == nullptr) continue;
+    if (type->as_string() == "header" && header == nullptr) header = &v;
+    if (type->as_string() == "summary") summary = &v;  // last one wins
+  }
+  if (header == nullptr || summary == nullptr) {
+    ++stats->files_incomplete;
+    return std::nullopt;
+  }
+
+  // Version gate: absent = version 1 (pre-versioned reports are readable);
+  // anything newer than this build understands is skipped, not guessed at.
+  int version = 1;
+  if (const JsonValue* v =
+          header->find("report_version", JsonValue::Kind::kNumber))
+    version = static_cast<int>(v->as_number());
+  if (version < 1 || version > kReportVersion) {
+    ++stats->files_unknown_version;
+    return std::nullopt;
+  }
+
+  RunObservation obs;
+  obs.source_file = path;
+  if (const JsonValue* fp =
+          header->find("fingerprint", JsonValue::Kind::kString))
+    obs.fingerprint = std::strtoull(fp->as_string().c_str(), nullptr, 16);
+  if (const JsonValue* kt =
+          header->find("kernel_threads", JsonValue::Kind::kNumber))
+    obs.threads = static_cast<int>(kt->as_number());
+
+  std::string compiler, flags, build_type, host;
+  std::uint64_t hardware_threads = 0;
+  if (const JsonValue* v = header->find("compiler", JsonValue::Kind::kString))
+    compiler = v->as_string();
+  if (const JsonValue* v = header->find("flags", JsonValue::Kind::kString))
+    flags = v->as_string();
+  if (const JsonValue* v =
+          header->find("build_type", JsonValue::Kind::kString))
+    build_type = v->as_string();
+  if (const JsonValue* v = header->find("host", JsonValue::Kind::kString))
+    host = v->as_string();
+  if (const JsonValue* v =
+          header->find("hardware_threads", JsonValue::Kind::kNumber))
+    hardware_threads = static_cast<std::uint64_t>(v->as_number());
+  obs.build_id = provenance_build_id(compiler, flags, build_type);
+  obs.machine_id = provenance_machine_id(host, hardware_threads);
+
+  if (const JsonValue* v = summary->find("engine", JsonValue::Kind::kString))
+    obs.engine_label = v->as_string();
+  obs.strategy = strategy_from_engine_label(obs.engine_label);
+  if (const JsonValue* v = summary->find("rank", JsonValue::Kind::kNumber))
+    obs.rank = static_cast<std::uint32_t>(v->as_number());
+  if (const JsonValue* v =
+          summary->find("iterations", JsonValue::Kind::kNumber))
+    obs.iterations = static_cast<int>(v->as_number());
+  if (const JsonValue* v =
+          summary->find("final_fit", JsonValue::Kind::kNumber))
+    obs.final_fit = v->as_number();
+  if (const JsonValue* v =
+          summary->find("plan_source", JsonValue::Kind::kString))
+    obs.plan_source = v->as_string();
+
+  double mttkrp_seconds = 0;
+  if (const JsonValue* v =
+          summary->find("mttkrp_seconds", JsonValue::Kind::kNumber))
+    mttkrp_seconds = v->as_number();
+  if (obs.iterations > 0) {
+    const double iters = static_cast<double>(obs.iterations);
+    obs.seconds_per_iteration = mttkrp_seconds / iters;
+    if (const JsonValue* v =
+            summary->find("mttkrp_mode_seconds", JsonValue::Kind::kArray)) {
+      obs.mode_seconds.reserve(v->items().size());
+      for (const JsonValue& item : v->items())
+        obs.mode_seconds.push_back(item.as_number() / iters);
+    }
+    if (const JsonValue* v = summary->find(
+            "predicted_seconds_per_iteration", JsonValue::Kind::kNumber)) {
+      if (v->as_number() > 0 && obs.seconds_per_iteration > 0)
+        obs.time_error_ratio = v->as_number() / obs.seconds_per_iteration;
+    }
+  }
+
+  ++stats->files_ingested;
+  return obs;
+}
+
+bool HistoryStore::ingest_file(const std::string& path,
+                               HistoryIngestStats* stats) {
+  auto obs = parse_report_file(path, stats);
+  if (!obs.has_value()) return false;
+  observations_.push_back(std::move(*obs));
+  return true;
+}
+
+HistoryIngestStats HistoryStore::ingest_dir(
+    const std::string& dir, const std::vector<std::string>& exclude) {
+  namespace fs = std::filesystem;
+  HistoryIngestStats stats;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return stats;
+
+  std::vector<fs::path> excluded;
+  excluded.reserve(exclude.size());
+  for (const auto& e : exclude)
+    excluded.push_back(fs::weakly_canonical(e, ec));
+
+  // Sorted for deterministic observation order (directory order is not).
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".jsonl") continue;
+    const fs::path canon = fs::weakly_canonical(entry.path(), ec);
+    if (std::find(excluded.begin(), excluded.end(), canon) != excluded.end())
+      continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) ingest_file(f.string(), &stats);
+  return stats;
+}
+
+void HistoryStore::record(RunObservation obs) {
+  observations_.push_back(std::move(obs));
+}
+
+std::vector<const RunObservation*> HistoryStore::query(
+    std::uint64_t fingerprint, std::uint32_t rank,
+    const std::string& strategy) const {
+  std::vector<const RunObservation*> out;
+  for (const RunObservation& obs : observations_) {
+    if (obs.fingerprint != fingerprint) continue;
+    if (obs.rank != rank && rank != 0) continue;
+    if (!strategy.empty() && obs.strategy != strategy) continue;
+    out.push_back(&obs);
+  }
+  return out;
+}
+
+double HistoryStore::trust_weight(const RunObservation& obs,
+                                  const TrustPolicy& policy) {
+  const std::uint64_t build =
+      policy.build_id != 0 ? policy.build_id : current_build_id();
+  const std::uint64_t machine =
+      policy.machine_id != 0 ? policy.machine_id : current_machine_id();
+  double w = 1.0;
+  if (obs.build_id != build) w *= policy.decay;
+  if (obs.machine_id != machine) w *= policy.decay;
+  if (policy.threads != 0 && obs.threads != 0 &&
+      obs.threads != policy.threads)
+    w *= policy.decay;
+  return w;
+}
+
+std::optional<HistoryStore::BestPlan> HistoryStore::measured_best(
+    std::uint64_t fingerprint, std::uint32_t rank,
+    const TrustPolicy& policy) const {
+  struct Acc {
+    double weight = 0, weighted_seconds = 0;
+    std::size_t n = 0;
+  };
+  std::map<std::string, Acc> per_strategy;
+  for (const RunObservation* obs : query(fingerprint, rank)) {
+    if (obs->seconds_per_iteration <= 0 || obs->strategy.empty()) continue;
+    const double w = trust_weight(*obs, policy);
+    Acc& acc = per_strategy[obs->strategy];
+    acc.weight += w;
+    acc.weighted_seconds += w * obs->seconds_per_iteration;
+    ++acc.n;
+  }
+  std::optional<BestPlan> best;
+  for (const auto& [strategy, acc] : per_strategy) {
+    if (acc.weight < policy.min_weight || acc.weight <= 0) continue;
+    const double mean = acc.weighted_seconds / acc.weight;
+    if (!best.has_value() || mean < best->seconds_per_iteration)
+      best = BestPlan{strategy, mean, acc.weight, acc.n};
+  }
+  return best;
+}
+
+std::vector<HistoryStore::Group> HistoryStore::groups() const {
+  struct Key {
+    std::uint64_t fingerprint;
+    std::string label;
+    std::uint32_t rank;
+    bool operator<(const Key& o) const {
+      if (fingerprint != o.fingerprint) return fingerprint < o.fingerprint;
+      if (label != o.label) return label < o.label;
+      return rank < o.rank;
+    }
+  };
+  std::map<Key, Group> grouped;
+  std::map<Key, std::pair<double, std::size_t>> error_acc;
+  for (const RunObservation& obs : observations_) {
+    const Key key{obs.fingerprint, obs.engine_label, obs.rank};
+    Group& g = grouped[key];
+    if (g.runs == 0) {
+      g.fingerprint = obs.fingerprint;
+      g.engine_label = obs.engine_label;
+      g.rank = obs.rank;
+      g.min_seconds_per_iteration = obs.seconds_per_iteration;
+      g.max_seconds_per_iteration = obs.seconds_per_iteration;
+    }
+    ++g.runs;
+    g.mean_seconds_per_iteration += obs.seconds_per_iteration;
+    g.min_seconds_per_iteration =
+        std::min(g.min_seconds_per_iteration, obs.seconds_per_iteration);
+    g.max_seconds_per_iteration =
+        std::max(g.max_seconds_per_iteration, obs.seconds_per_iteration);
+    if (!obs.plan_source.empty()) g.last_plan_source = obs.plan_source;
+    if (obs.time_error_ratio > 0) {
+      error_acc[key].first += obs.time_error_ratio;
+      ++error_acc[key].second;
+    }
+  }
+  std::vector<Group> out;
+  out.reserve(grouped.size());
+  for (auto& [key, g] : grouped) {
+    g.mean_seconds_per_iteration /= static_cast<double>(g.runs);
+    const auto it = error_acc.find(key);
+    if (it != error_acc.end() && it->second.second > 0)
+      g.mean_time_error_ratio =
+          it->second.first / static_cast<double>(it->second.second);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+DriftReport detect_drift(const HistoryStore& store, const RunObservation& run,
+                         const DriftOptions& options) {
+  DriftReport report;
+  const auto history = store.query(run.fingerprint, run.rank, run.strategy);
+  report.history_runs = history.size();
+  if (history.size() < 2) return report;  // no band without a distribution
+
+  // One banded "kernel" per mode, plus the whole-sweep aggregate.
+  const std::size_t modes = run.mode_seconds.size();
+  const auto band = [&](const std::string& kernel, double measured,
+                        std::vector<double> samples) {
+    if (samples.size() < 2 || measured < options.min_seconds) return;
+    const double median = median_of(samples);
+    if (median < options.min_seconds) return;
+    std::vector<double> dev;
+    dev.reserve(samples.size());
+    for (const double s : samples) dev.push_back(std::abs(s - median));
+    const double mad = median_of(std::move(dev));
+    const double scale =
+        std::max({1.4826 * mad, options.rel_floor * median, 1e-12});
+    DriftFinding f;
+    f.kernel = kernel;
+    f.measured = measured;
+    f.median = median;
+    f.scale = scale;
+    f.z = (measured - median) / scale;
+    if (f.z > options.sigma) {
+      f.status = "regression";
+      report.regressed = true;
+      report.out_of_band = true;
+    } else if (f.z < -options.sigma) {
+      f.status = "improved";
+      report.out_of_band = true;
+    }
+    report.findings.push_back(std::move(f));
+  };
+
+  for (std::size_t m = 0; m < modes; ++m) {
+    std::vector<double> samples;
+    for (const RunObservation* obs : history)
+      if (m < obs->mode_seconds.size())
+        samples.push_back(obs->mode_seconds[m]);
+    band("mode" + std::to_string(m), run.mode_seconds[m], std::move(samples));
+  }
+  {
+    std::vector<double> samples;
+    for (const RunObservation* obs : history)
+      if (obs->seconds_per_iteration > 0)
+        samples.push_back(obs->seconds_per_iteration);
+    band("mttkrp", run.seconds_per_iteration, std::move(samples));
+  }
+  return report;
+}
+
+}  // namespace mdcp::obs

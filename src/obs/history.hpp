@@ -1,0 +1,201 @@
+// Persistent cross-run history: ingest JSONL run reports, index measured
+// timings by tensor fingerprint + provenance, and answer the two questions
+// the rest of the system asks:
+//
+//   * tuner feedback — "for this (fingerprint, rank), which strategy was
+//     measured fastest, and do we trust those measurements enough to prefer
+//     them over the analytic ranking?" (see measured_best / TrustPolicy,
+//     consumed by select_strategy via TunerOptions)
+//   * drift analytics — "is this run's per-kernel timing inside the robust
+//     z-score band of the stored history?" (see detect_drift, consumed by
+//     `mdcp_cli drift`)
+//
+// The store's on-disk format IS the run-report directory: every
+// `mdcp_cli decompose --history-dir <d>` appends one `run-*.jsonl` report
+// (written crash-safely, see RunReporter), and ingest_dir() re-reads them
+// all. There is no secondary database to corrupt or migrate — deleting a
+// file forgets that run, and unparseable / unknown-version files are skipped
+// and counted, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mdcp::obs {
+
+/// One run's worth of measured history, extracted from a report's header +
+/// summary records (or recorded in-process by cp_als when
+/// CpAlsOptions::history is set).
+struct RunObservation {
+  std::uint64_t fingerprint = 0;  ///< tensor_fingerprint from the header
+  std::string engine_label;       ///< summary "engine", e.g. "auto:bdt/asc"
+  /// engine_label with the "auto:" / "auto+probe:" prefix stripped — the
+  /// name the tuner's candidate strategies are matched against ("bdt/asc",
+  /// "greedy", ...; fixed engines keep their registry name).
+  std::string strategy;
+  std::uint32_t rank = 0;  ///< 0 when the report predates the rank field
+  int threads = 0;         ///< kernel_threads from the header
+
+  // Provenance the trust policy decays on (see TrustPolicy).
+  std::uint64_t build_id = 0;    ///< hash of compiler + flags + build type
+  std::uint64_t machine_id = 0;  ///< hash of host name + hardware threads
+
+  int iterations = 0;
+  double seconds_per_iteration = 0;  ///< MTTKRP seconds / iterations
+  /// Per-mode MTTKRP seconds per iteration (the "per-kernel timings" the
+  /// drift detector bands). Empty when the summary lacked the array.
+  std::vector<double> mode_seconds;
+  double time_error_ratio = 0;  ///< tuner predicted/measured (0 = unknown)
+  double final_fit = 0;
+  std::string plan_source;  ///< "model" | "history" | "fixed" ("" = unknown)
+  std::string source_file;  ///< report path ("" = recorded in-process)
+};
+
+/// Ingest bookkeeping. Skips are counted, never thrown: a poisoned file in a
+/// shared history directory must not take down every later run.
+struct HistoryIngestStats {
+  std::size_t files_scanned = 0;
+  std::size_t files_ingested = 0;
+  std::size_t files_unparseable = 0;      ///< bad JSON / truncated mid-record
+  std::size_t files_unknown_version = 0;  ///< report_version > kReportVersion
+  std::size_t files_incomplete = 0;       ///< missing header or summary
+};
+
+/// How much a stored observation is believed when consulted for planning.
+/// Each provenance axis that differs from the current process (build,
+/// machine, thread count) multiplies the observation's weight by `decay`, so
+/// history survives a rebuild or a new host but has to be re-earned there.
+struct TrustPolicy {
+  std::uint64_t build_id = 0;    ///< 0 = current_build_id()
+  std::uint64_t machine_id = 0;  ///< 0 = current_machine_id()
+  int threads = 0;               ///< 0 = any (thread axis not decayed)
+  double decay = 0.25;           ///< weight multiplier per mismatched axis
+  /// Minimum summed weight before a strategy's measurements may override
+  /// the analytic model — the "warm-start after K observations" knob
+  /// (same-provenance observations weigh 1 each).
+  double min_weight = 1.0;
+};
+
+/// Robust z-score banding for drift detection. The scale is
+/// max(1.4826·MAD, rel_floor·median): the MAD term adapts to genuinely
+/// noisy kernels, the relative floor keeps near-deterministic histories
+/// (MAD ≈ 0) from flagging ordinary scheduling jitter.
+struct DriftOptions {
+  double sigma = 3.5;       ///< |z| beyond this is out of band
+  double rel_floor = 0.12;  ///< minimum scale as a fraction of the median
+  /// Kernels faster than this are skipped entirely (sub-fixed-cost timings
+  /// are all noise).
+  double min_seconds = 1e-6;
+};
+
+struct DriftFinding {
+  std::string kernel;   ///< "mode0", "mode1", ..., or "mttkrp"
+  double measured = 0;  ///< this run's seconds (per iteration)
+  double median = 0;    ///< history median
+  double scale = 0;     ///< robust scale the z-score used
+  double z = 0;         ///< signed robust z-score
+  /// "regression" (slow side, gates the exit status), "improved" (fast
+  /// side, informational), or "ok".
+  const char* status = "ok";
+};
+
+struct DriftReport {
+  std::vector<DriftFinding> findings;  ///< one per banded kernel
+  std::size_t history_runs = 0;        ///< comparable observations found
+  bool regressed = false;              ///< any slow-side finding
+  bool out_of_band = false;            ///< any finding on either side
+};
+
+class HistoryStore {
+ public:
+  /// Provenance of the running process, for TrustPolicy and for stamping
+  /// in-process observations. Stable for the process lifetime.
+  static std::uint64_t current_build_id();
+  static std::uint64_t current_machine_id();
+
+  /// Parses one JSONL run report into an observation. Returns nullopt (and
+  /// bumps the matching `stats` skip counter) for unreadable, unparseable,
+  /// future-version, or header/summary-less files.
+  static std::optional<RunObservation> parse_report_file(
+      const std::string& path, HistoryIngestStats* stats = nullptr);
+
+  /// Ingests one report file; false if it was skipped.
+  bool ingest_file(const std::string& path,
+                   HistoryIngestStats* stats = nullptr);
+
+  /// Ingests every "*.jsonl" in `dir` (non-recursive; "*.tmp" crash
+  /// leftovers and files named in `exclude` are ignored). A missing
+  /// directory ingests nothing and is not an error.
+  HistoryIngestStats ingest_dir(const std::string& dir,
+                                const std::vector<std::string>& exclude = {});
+
+  /// Appends an in-process observation (cp_als records each run's outcome
+  /// here so repeat runs inside one process warm-start without re-reading
+  /// the directory).
+  void record(RunObservation obs);
+
+  std::size_t size() const noexcept { return observations_.size(); }
+  bool empty() const noexcept { return observations_.empty(); }
+  const std::vector<RunObservation>& observations() const noexcept {
+    return observations_;
+  }
+
+  /// Observations matching (fingerprint, rank, strategy). rank 0 / empty
+  /// strategy match any; rank-0 *observations* only match rank-0 queries
+  /// (an unknown-rank measurement must not inform a rank-specific plan).
+  std::vector<const RunObservation*> query(std::uint64_t fingerprint,
+                                           std::uint32_t rank = 0,
+                                           const std::string& strategy = {})
+      const;
+
+  /// The measured-best plan for (fingerprint, rank) under `policy`: per
+  /// strategy, observations are trust-weighted and averaged; strategies
+  /// whose summed weight is below policy.min_weight are not yet trusted.
+  /// Returns nullopt when no strategy qualifies.
+  struct BestPlan {
+    std::string strategy;
+    double seconds_per_iteration = 0;  ///< trust-weighted mean
+    double weight = 0;                 ///< summed trust weight
+    std::size_t observations = 0;      ///< raw observation count
+  };
+  std::optional<BestPlan> measured_best(std::uint64_t fingerprint,
+                                        std::uint32_t rank,
+                                        const TrustPolicy& policy = {}) const;
+
+  /// Trust weight of one observation under `policy` (exposed for tests and
+  /// the `history` subcommand).
+  static double trust_weight(const RunObservation& obs,
+                             const TrustPolicy& policy);
+
+  /// Aggregate view for `mdcp_cli history`: one row per
+  /// (fingerprint, engine label, rank).
+  struct Group {
+    std::uint64_t fingerprint = 0;
+    std::string engine_label;
+    std::uint32_t rank = 0;
+    std::size_t runs = 0;
+    double mean_seconds_per_iteration = 0;
+    double min_seconds_per_iteration = 0;
+    double max_seconds_per_iteration = 0;
+    double mean_time_error_ratio = 0;  ///< over runs that reported one
+    std::string last_plan_source;
+  };
+  std::vector<Group> groups() const;
+
+ private:
+  std::vector<RunObservation> observations_;
+};
+
+/// Bands `run`'s per-kernel timings against the store's observations with
+/// the same (fingerprint, rank, strategy). With fewer than 2 comparable
+/// observations the report is empty (history_runs tells the caller why).
+DriftReport detect_drift(const HistoryStore& store, const RunObservation& run,
+                         const DriftOptions& options = {});
+
+/// Strips the "auto:" / "auto+probe:" prefix an AutoEngine bakes into its
+/// resolved name, yielding the strategy name history keys on.
+std::string strategy_from_engine_label(const std::string& label);
+
+}  // namespace mdcp::obs

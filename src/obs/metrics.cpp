@@ -138,7 +138,7 @@ std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     out.push_back({name, h->count(), h->sum(), h->min(), h->max(), h->p50(),
-                   h->p95()});
+                   h->p95(), h->p99()});
   }
   return out;
 }
@@ -157,7 +157,8 @@ std::string MetricsRegistry::to_json() const {
     w.key(h.name).begin_object().kv("count", h.count).kv("sum", h.sum);
     // min/max are +-inf on an empty histogram; JsonWriter turns those into
     // null, which is the wanted "no samples" spelling.
-    w.kv("min", h.min).kv("max", h.max).kv("p50", h.p50).kv("p95", h.p95);
+    w.kv("min", h.min).kv("max", h.max).kv("p50", h.p50).kv("p95", h.p95)
+        .kv("p99", h.p99);
     w.end_object();
   }
   w.end_object();

@@ -99,6 +99,7 @@ class Histogram {
   double quantile(double q) const noexcept;
   double p50() const noexcept { return quantile(0.50); }
   double p95() const noexcept { return quantile(0.95); }
+  double p99() const noexcept { return quantile(0.99); }
 
   void reset() noexcept;
 
@@ -132,7 +133,7 @@ class MetricsRegistry {
   struct HistogramSnapshot {
     std::string name;
     std::uint64_t count;
-    double sum, min, max, p50, p95;
+    double sum, min, max, p50, p95, p99;
   };
   std::vector<HistogramSnapshot> histograms() const;
 

@@ -4,6 +4,10 @@
 #include <cstring>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "obs/json.hpp"
 #include "obs/trace.hpp"  // MDCP_ENABLE_TRACING
 
@@ -35,6 +39,13 @@ const BuildInfo& BuildInfo::current() {
 #endif
     b.tracing = MDCP_ENABLE_TRACING != 0;
     b.hardware_threads = std::thread::hardware_concurrency();
+    b.host = "unknown-host";
+#if defined(__unix__) || defined(__APPLE__)
+    char host_buf[256] = {0};
+    if (::gethostname(host_buf, sizeof(host_buf) - 1) == 0 &&
+        host_buf[0] != '\0')
+      b.host = host_buf;
+#endif
     return b;
   }();
   return info;
@@ -64,10 +75,27 @@ std::uint64_t tensor_fingerprint(const CooTensor& tensor) {
   return h;
 }
 
-RunReporter::RunReporter(const std::string& path) : os_(path) {}
+RunReporter::RunReporter(const std::string& path)
+    : path_(path), tmp_path_(path + ".tmp"), os_(tmp_path_) {}
+
+RunReporter::~RunReporter() { close(); }
+
+bool RunReporter::close() {
+  if (closed_) return true;
+  closed_ = true;
+  if (!os_.is_open()) return false;
+  os_.flush();
+  const bool good = os_.good();
+  os_.close();
+  if (!good) {
+    std::remove(tmp_path_.c_str());  // never promote a bad partial file
+    return false;
+  }
+  return std::rename(tmp_path_.c_str(), path_.c_str()) == 0;
+}
 
 void RunReporter::write_line(const std::string& json) {
-  if (!os_.good()) return;
+  if (closed_ || !os_.good()) return;
   os_ << json << '\n';
   os_.flush();
 }
@@ -80,7 +108,9 @@ void RunReporter::write_header(const CooTensor& tensor,
   w.begin_object()
       .kv("type", "header")
       .kv("schema", kReportSchema)
+      .kv("report_version", kReportVersion)
       .kv("command", command)
+      .kv("host", b.host)
       .kv("compiler", b.compiler)
       .kv("flags", b.flags)
       .kv("build_type", b.build_type)

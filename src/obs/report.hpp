@@ -25,6 +25,13 @@ namespace mdcp::obs {
 /// Schema tag stamped on every report record.
 inline constexpr const char* kReportSchema = "mdcp-run-report/1";
 
+/// Report format version, stamped into the provenance header as
+/// "report_version". Bump when the record layout changes in a way consumers
+/// (the history store) must know about; the history ingester skips files
+/// newer than the version it was built with. Version 1 = pre-versioned
+/// reports (no report_version / host / rank / plan_source fields).
+inline constexpr int kReportVersion = 2;
+
 /// Compile-time / process-wide provenance, resolved once.
 struct BuildInfo {
   std::string compiler;    ///< e.g. "gcc 13.2.0"
@@ -34,6 +41,7 @@ struct BuildInfo {
   int openmp_version = 0;  ///< _OPENMP date macro, 0 without OpenMP
   bool tracing = false;    ///< MDCP_ENABLE_TRACING compiled in
   unsigned hardware_threads = 0;
+  std::string host;        ///< gethostname() ("unknown-host" if unavailable)
 
   static const BuildInfo& current();
 };
@@ -42,11 +50,18 @@ struct BuildInfo {
 /// runs for identical tensors; used to pin a report to its dataset.
 std::uint64_t tensor_fingerprint(const CooTensor& tensor);
 
-/// Appends JSONL records to a file. Records are flushed per line so a
-/// crashed run still leaves a readable prefix.
+/// Writes JSONL records crash-safely: all lines go to `<path>.tmp` (flushed
+/// per line) and the file is atomically renamed to `path` on close(). A run
+/// killed mid-write therefore never leaves a truncated report at `path` to
+/// poison the history store — only a `.tmp` leftover, which ingestion
+/// ignores. The destructor closes implicitly; call close() explicitly to
+/// check for rename failure.
 class RunReporter {
  public:
   explicit RunReporter(const std::string& path);
+  ~RunReporter();
+  RunReporter(const RunReporter&) = delete;
+  RunReporter& operator=(const RunReporter&) = delete;
 
   /// False if the output file could not be opened.
   bool ok() const noexcept { return os_.good(); }
@@ -58,8 +73,18 @@ class RunReporter {
   void write_header(const CooTensor& tensor, const std::string& command,
                     int kernel_threads);
 
+  /// Finishes the report: flushes and renames `<path>.tmp` → `path`. False
+  /// if the stream went bad or the rename failed. Idempotent.
+  bool close();
+
+  /// The final (post-rename) report path.
+  const std::string& path() const noexcept { return path_; }
+
  private:
+  std::string path_;
+  std::string tmp_path_;
   std::ofstream os_;
+  bool closed_ = false;
 };
 
 }  // namespace mdcp::obs

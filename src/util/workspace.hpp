@@ -160,6 +160,12 @@ struct KernelStats {
   // or 8; 0 = scalar remainder only, i.e. R < 8 or no rank-blocked loop).
   std::uint32_t last_tile = 0;
 
+  // Plan-provenance telemetry: how the last prepared plan was chosen.
+  // "model" = analytic cost-model ranking, "history" = measured-best
+  // override from the run-history store (see obs/history.hpp), "" = the
+  // engine is not model-driven (fixed engines never set it).
+  const char* plan_source = "";
+
   // Fault-tolerance telemetry: engine fallbacks taken by the degradation
   // chain when a predicted or actual allocation exceeded the memory budget
   // (see model/tuner.hpp).
@@ -186,6 +192,7 @@ struct KernelStats {
     d.last_tiles = last_tiles;
     d.last_sched_reason = last_sched_reason;
     d.last_tile = last_tile;
+    d.plan_source = plan_source;
     d.degradations = degradations - baseline.degradations;
     d.last_degradation_reason = last_degradation_reason;
     return d;

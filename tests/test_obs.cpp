@@ -396,9 +396,24 @@ TEST(HistogramMetric, BucketsQuantilesAndMoments) {
   // Log-bucketing at 4 buckets/octave bounds quantile error to ~19%.
   EXPECT_NEAR(h.p50(), 50.0, 50.0 * 0.20);
   EXPECT_NEAR(h.p95(), 95.0, 95.0 * 0.20);
+  EXPECT_NEAR(h.p99(), 99.0, 99.0 * 0.20);
+  EXPECT_GE(h.p99(), h.p95());
+  EXPECT_GE(h.p95(), h.p50());
   // Quantiles never escape the observed range.
   EXPECT_GE(h.quantile(0.0), h.min());
   EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(HistogramMetric, P99SeparatesTailFromBody) {
+  // 98 fast samples and 2 slow outliers: p95 stays in the body while p99
+  // must land in the tail — the case the p99 column exists for.
+  obs::Histogram h;
+  for (int i = 0; i < 98; ++i) h.record(0.001);
+  h.record(1.0);
+  h.record(1.0);
+  EXPECT_NEAR(h.p95(), 0.001, 0.001 * 0.20);
+  EXPECT_NEAR(h.p99(), 1.0, 1.0 * 0.20);
+  EXPECT_GT(h.p99(), h.p95() * 100);
 }
 
 TEST(HistogramMetric, ResetAndDegenerateCases) {
@@ -446,6 +461,7 @@ TEST(HistogramMetric, RegistryExportAndReset) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
   reg.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(&reg.histogram("test.json_histogram"), &h);  // stable reference
@@ -713,7 +729,7 @@ TEST(Report, RunReportMatchesGoldenSchema) {
   }
   EXPECT_TRUE(has_keys(lines[0], {"type", "command", "compiler", "build_type",
                                   "order", "shape", "nnz", "fingerprint",
-                                  "kernel_threads"}))
+                                  "kernel_threads", "report_version", "host"}))
       << lines[0];
   EXPECT_NE(lines[0].find("\"type\":\"header\""), std::string::npos);
   for (int it = 1; it <= 3; ++it) {
@@ -730,10 +746,16 @@ TEST(Report, RunReportMatchesGoldenSchema) {
               std::string::npos);
   }
   EXPECT_TRUE(has_keys(lines[4],
-                       {"engine", "iterations", "converged", "final_fit",
-                        "total_seconds", "mttkrp_seconds",
+                       {"engine", "rank", "plan_source", "iterations",
+                        "converged", "final_fit", "total_seconds",
+                        "mttkrp_seconds", "mttkrp_mode_quantiles",
                         "engine_peak_memory_bytes", "memo_hits_total",
                         "memo_misses_total", "workspace_thread_peak_bytes"}))
+      << lines[4];
+  // Quantile objects carry the p50/p95/p99 trio per mode.
+  EXPECT_NE(lines[4].find("\"p99\""), std::string::npos) << lines[4];
+  // A fixed engine is not model-driven.
+  EXPECT_NE(lines[4].find("\"plan_source\":\"fixed\""), std::string::npos)
       << lines[4];
   EXPECT_NE(lines[4].find("\"type\":\"summary\""), std::string::npos);
 }

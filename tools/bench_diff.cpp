@@ -3,19 +3,15 @@
 //
 //   bench_diff BASE.json NEW.json [--threshold 0.25] [--json]
 //
-// Cells are compared by their leading number + unit suffix, normalized to a
-// base unit (us/ms/s → seconds; KiB/MiB/GiB → bytes). Direction policy:
-// time and byte cells are smaller-is-better and gate the exit status; ratio
-// ("x") and bare-number cells are informational only — a speedup column's
-// direction depends on what the table divides, so gating on it would guess.
-// A cell regresses when new > base * (1 + threshold). The threshold is the
-// noise allowance, not a target: see docs/benchmarking.md for the policy.
+// Cell parsing and the comparison policy are shared with `mdcp_cli compare`
+// — see tools/compare_util.hpp for the unit normalization and direction
+// rules. The threshold is the noise allowance, not a target: see
+// docs/benchmarking.md for the policy.
 //
 // Exit status: 0 all gated cells within threshold, 1 at least one
 // regression, 2 structural problems (unreadable file, bench/table/row
 // present in BASE but missing in NEW).
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,12 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "compare_util.hpp"
 #include "obs/json.hpp"
 
 namespace {
 
 using mdcp::obs::JsonValue;
 using mdcp::obs::JsonWriter;
+using mdcp::tools::Cell;
+using mdcp::tools::Finding;
+using mdcp::tools::classify;
+using mdcp::tools::parse_cell;
+using mdcp::tools::structural_finding;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -37,46 +39,6 @@ using mdcp::obs::JsonWriter;
                "usage: bench_diff BASE.json NEW.json [--threshold T] "
                "[--json]\n");
   std::exit(1);
-}
-
-struct Cell {
-  double value = 0;   ///< normalized (seconds, bytes, or raw)
-  bool gated = false; ///< time/byte cell: smaller-is-better, gates exit code
-  bool numeric = false;
-};
-
-/// Parses "123us", "4.5ms", "2.3s", "1.2KiB", "3x", "42" → normalized value.
-Cell parse_cell(const std::string& s) {
-  Cell c;
-  const char* p = s.c_str();
-  char* end = nullptr;
-  const double v = std::strtod(p, &end);
-  if (end == p || !std::isfinite(v)) return c;  // non-numeric cell
-  c.numeric = true;
-  const std::string unit(end);
-  if (unit == "us") {
-    c.value = v * 1e-6;
-    c.gated = true;
-  } else if (unit == "ms") {
-    c.value = v * 1e-3;
-    c.gated = true;
-  } else if (unit == "s") {
-    c.value = v;
-    c.gated = true;
-  } else if (unit == "KiB") {
-    c.value = v * 1024.0;
-    c.gated = true;
-  } else if (unit == "MiB") {
-    c.value = v * 1024.0 * 1024.0;
-    c.gated = true;
-  } else if (unit == "GiB") {
-    c.value = v * 1024.0 * 1024.0 * 1024.0;
-    c.gated = true;
-  } else {
-    // "x" ratios and bare numbers: informational, direction unknown.
-    c.value = v;
-  }
-  return c;
 }
 
 bool load_file(const char* path, JsonValue& out) {
@@ -141,12 +103,6 @@ const JsonValue* find_row(const JsonValue& rows, const std::string& key) {
   return nullptr;
 }
 
-struct Finding {
-  std::string where;  ///< "bench/table/row/col"
-  double base = 0, next = 0, ratio = 0;
-  const char* status = "ok";  ///< ok | regression | improved | structural
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,7 +141,7 @@ int main(int argc, char** argv) {
   for (const auto& bt : base_tables) {
     const TableRef* nt = find_table(new_tables, bt);
     if (nt == nullptr || nt->rows == nullptr || bt.rows == nullptr) {
-      findings.push_back({bt.bench + "/" + bt.table, 0, 0, 0, "structural"});
+      findings.push_back(structural_finding(bt.bench + "/" + bt.table));
       ++structural;
       continue;
     }
@@ -195,7 +151,7 @@ int main(int argc, char** argv) {
       const JsonValue* nrow = find_row(*nt->rows, key);
       if (nrow == nullptr) {
         findings.push_back(
-            {bt.bench + "/" + bt.table + "/" + key, 0, 0, 0, "structural"});
+            structural_finding(bt.bench + "/" + bt.table + "/" + key));
         ++structural;
         continue;
       }
@@ -207,17 +163,14 @@ int main(int argc, char** argv) {
         if (!bc.numeric || !nc.numeric || !bc.gated || !nc.gated) continue;
         if (bc.value <= 0) continue;
         ++compared;
-        const double ratio = nc.value / bc.value;
         std::string col = "col" + std::to_string(c);
         if (bt.headers != nullptr && c < bt.headers->items().size())
           col = bt.headers->items()[c].as_string();
-        const std::string where =
-            bt.bench + "/" + bt.table + "/" + key + "/" + col;
-        if (ratio > 1.0 + threshold) {
-          findings.push_back({where, bc.value, nc.value, ratio, "regression"});
-          ++regressions;
-        } else if (ratio < 1.0 / (1.0 + threshold)) {
-          findings.push_back({where, bc.value, nc.value, ratio, "improved"});
+        Finding f = classify(bt.bench + "/" + bt.table + "/" + key + "/" + col,
+                             bc.value, nc.value, threshold);
+        if (std::strcmp(f.status, "ok") != 0) {
+          if (std::strcmp(f.status, "regression") == 0) ++regressions;
+          findings.push_back(std::move(f));
         }
       }
     }

@@ -1,0 +1,91 @@
+// Shared unit-aware comparison core for the regression-checking tools.
+//
+// bench_diff (BENCH_*.json tables) and `mdcp_cli compare` (JSONL run
+// reports) gate on the same policy, so it lives here once: cells are parsed
+// by their leading number + unit suffix and normalized to a base unit
+// (us/ms/s → seconds; KiB/MiB/GiB → bytes). Time and byte cells are
+// smaller-is-better and gate the exit status; ratio ("x") and bare-number
+// cells are informational only — a speedup column's direction depends on
+// what the table divides, so gating on it would guess. A value regresses
+// when new > base * (1 + threshold).
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace mdcp::tools {
+
+struct Cell {
+  double value = 0;    ///< normalized (seconds, bytes, or raw)
+  bool gated = false;  ///< time/byte cell: smaller-is-better, gates exit code
+  bool numeric = false;
+};
+
+/// Parses "123us", "4.5ms", "2.3s", "1.2KiB", "3x", "42" → normalized value.
+inline Cell parse_cell(const std::string& s) {
+  Cell c;
+  const char* p = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p || !std::isfinite(v)) return c;  // non-numeric cell
+  c.numeric = true;
+  const std::string unit(end);
+  if (unit == "us") {
+    c.value = v * 1e-6;
+    c.gated = true;
+  } else if (unit == "ms") {
+    c.value = v * 1e-3;
+    c.gated = true;
+  } else if (unit == "s") {
+    c.value = v;
+    c.gated = true;
+  } else if (unit == "KiB") {
+    c.value = v * 1024.0;
+    c.gated = true;
+  } else if (unit == "MiB") {
+    c.value = v * 1024.0 * 1024.0;
+    c.gated = true;
+  } else if (unit == "GiB") {
+    c.value = v * 1024.0 * 1024.0 * 1024.0;
+    c.gated = true;
+  } else {
+    // "x" ratios and bare numbers: informational, direction unknown.
+    c.value = v;
+  }
+  return c;
+}
+
+/// One compared value. `where` is a slash path naming the cell
+/// ("bench/table/row/col" or "summary/mttkrp_seconds_per_iter").
+struct Finding {
+  std::string where;
+  double base = 0, next = 0, ratio = 0;
+  const char* status = "ok";  ///< ok | regression | improved | structural
+};
+
+/// Smaller-is-better comparison under the symmetric threshold band:
+/// "regression" when next > base·(1+T), "improved" when next < base/(1+T).
+/// base must be positive (callers skip zero/negative baselines).
+inline Finding classify(std::string where, double base, double next,
+                        double threshold) {
+  Finding f;
+  f.where = std::move(where);
+  f.base = base;
+  f.next = next;
+  f.ratio = next / base;
+  if (f.ratio > 1.0 + threshold)
+    f.status = "regression";
+  else if (f.ratio < 1.0 / (1.0 + threshold))
+    f.status = "improved";
+  return f;
+}
+
+inline Finding structural_finding(std::string where) {
+  Finding f;
+  f.where = std::move(where);
+  f.status = "structural";
+  return f;
+}
+
+}  // namespace mdcp::tools

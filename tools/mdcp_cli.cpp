@@ -10,19 +10,31 @@
 //                      [--threads T] [--mem-budget MB] [--no-strict]
 //                      [--out-prefix P]
 //                      [--trace T.json] [--metrics M.json] [--report R.jsonl]
+//                      [--history-dir D] [--no-history] [--history-min-obs K]
 //   mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] [--reps N]
 //                    [--threads T] [--calib-seconds S] [--json] [--out F]
+//   mdcp_cli history <dir> [--json]
+//   mdcp_cli compare <base.jsonl> <new.jsonl> [--threshold T] [--json]
+//   mdcp_cli drift <report.jsonl> --history-dir D [--sigma S]
+//                  [--rel-floor F] [--json]
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
+// Exit status: 0 on success, 1 on usage errors (compare/drift: 1 also means
+// a regression was found), 2 on runtime/structural errors.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "compare_util.hpp"
 #include "mdcp.hpp"
 
 namespace {
@@ -48,11 +60,18 @@ using namespace mdcp;
                "                     [--mem-budget MB] [--no-strict]\n"
                "                     [--out-prefix P] [--trace T.json] "
                "[--metrics M.json]\n"
-               "                     [--report R.jsonl]\n"
+               "                     [--report R.jsonl] [--history-dir D] "
+               "[--no-history]\n"
+               "                     [--history-min-obs K]\n"
                "  mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] "
                "[--reps N]\n"
                "                   [--threads T] [--calib-seconds S] [--json] "
                "[--out FILE]\n"
+               "  mdcp_cli history <dir> [--json]\n"
+               "  mdcp_cli compare <base.jsonl> <new.jsonl> [--threshold T] "
+               "[--json]\n"
+               "  mdcp_cli drift <report.jsonl> --history-dir D [--sigma S]\n"
+               "                 [--rel-floor F] [--json]\n"
                "\nengines:\n");
   for (const auto& e : EngineRegistry::instance().entries())
     std::fprintf(stderr, "  %-12s %s\n", e.name.c_str(),
@@ -261,8 +280,41 @@ int cmd_decompose(const Args& args) {
     obs::Tracer::instance().set_enabled(true);
   }
 
+  // Cross-run history: --history-dir names a directory of JSONL run reports
+  // (the persistent store — see obs/history.hpp). Prior runs are ingested
+  // for the tuner's empirical overlay, and this run's report is written into
+  // the directory so the next run sees it.
+  obs::HistoryStore history;
+  obs::HistoryIngestStats ingest_stats;
+  const std::string history_dir = args.get("history-dir");
+  if (!history_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(history_dir, ec);
+    if (ec)
+      usage(("cannot create --history-dir " + history_dir).c_str());
+    ingest_stats = history.ingest_dir(history_dir);
+    if (ingest_stats.files_unparseable + ingest_stats.files_unknown_version +
+            ingest_stats.files_incomplete >
+        0)
+      std::fprintf(stderr,
+                   "warning: %s: skipped %zu unparseable, %zu "
+                   "unknown-version, %zu incomplete report(s)\n",
+                   history_dir.c_str(), ingest_stats.files_unparseable,
+                   ingest_stats.files_unknown_version,
+                   ingest_stats.files_incomplete);
+  }
+
   std::unique_ptr<obs::RunReporter> reporter;
-  const std::string report_path = args.get("report");
+  std::string report_path = args.get("report");
+  if (report_path.empty() && !history_dir.empty()) {
+    // Unique-enough name per run: monotonic nanoseconds + pid.
+    unsigned long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    pid = static_cast<unsigned long>(::getpid());
+#endif
+    report_path = history_dir + "/run-" + std::to_string(obs::clock_ns()) +
+                  "-" + std::to_string(pid) + ".jsonl";
+  }
   if (!report_path.empty()) {
     reporter = std::make_unique<obs::RunReporter>(report_path);
     if (!reporter->ok()) usage(("cannot write --report " + report_path).c_str());
@@ -287,7 +339,15 @@ int cmd_decompose(const Args& args) {
       static_cast<std::size_t>(budget_mb * 1024.0 * 1024.0);
   opt.verbose = args.has("verbose");
   opt.reporter = reporter.get();
+  if (!history_dir.empty()) {
+    opt.history = &history;
+    opt.use_history = !args.has("no-history");
+    opt.history_min_weight = args.get_num("history-min-obs", 1.0);
+  }
 
+  // Runs the tuner could consult (cp_als records this run into the store
+  // afterwards, so the size is captured before).
+  const std::size_t prior_runs = history.size();
   const int restarts = static_cast<int>(args.get_num("restarts", 1));
   const std::string algorithm = args.get("algorithm", "als");
   CpAlsResult result;
@@ -345,6 +405,10 @@ int cmd_decompose(const Args& args) {
                              : 0.0,
                 result.predicted_memory_bytes);
   }
+  // "history" here means the measured-best plan from --history-dir overrode
+  // the analytic ranking (the CI smoke job greps for source=history).
+  std::printf("plan: source=%s history-runs=%zu\n", result.plan_source.c_str(),
+              prior_runs);
 
   const std::string prefix = args.get("out-prefix");
   if (!prefix.empty()) {
@@ -384,6 +448,16 @@ int cmd_decompose(const Args& args) {
                    metrics_path.c_str());
       return 2;
     }
+  }
+  if (reporter != nullptr) {
+    // Promote <path>.tmp → <path>; until this succeeds the history store
+    // cannot see the run.
+    if (!reporter->close()) {
+      std::fprintf(stderr, "error: cannot finalize --report %s\n",
+                   reporter->path().c_str());
+      return 2;
+    }
+    std::printf("wrote report %s\n", reporter->path().c_str());
   }
   return 0;
 }
@@ -640,6 +714,232 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+int cmd_history(const Args& args) {
+  if (args.positional().empty()) usage("history needs a report directory");
+  const std::string dir = args.positional()[0];
+  obs::HistoryStore store;
+  const obs::HistoryIngestStats st = store.ingest_dir(dir);
+  const auto groups = store.groups();
+
+  if (args.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object().kv("schema", "mdcp-history/1").kv("dir", dir);
+    w.key("ingest")
+        .begin_object()
+        .kv("files_scanned", static_cast<std::uint64_t>(st.files_scanned))
+        .kv("files_ingested", static_cast<std::uint64_t>(st.files_ingested))
+        .kv("files_unparseable",
+            static_cast<std::uint64_t>(st.files_unparseable))
+        .kv("files_unknown_version",
+            static_cast<std::uint64_t>(st.files_unknown_version))
+        .kv("files_incomplete", static_cast<std::uint64_t>(st.files_incomplete))
+        .end_object();
+    w.key("groups").begin_array();
+    for (const auto& g : groups) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(g.fingerprint));
+      w.begin_object()
+          .kv("fingerprint", fp)
+          .kv("engine", g.engine_label)
+          .kv("rank", static_cast<std::uint64_t>(g.rank))
+          .kv("runs", static_cast<std::uint64_t>(g.runs))
+          .kv("mean_seconds_per_iter", g.mean_seconds_per_iteration)
+          .kv("min_seconds_per_iter", g.min_seconds_per_iteration)
+          .kv("max_seconds_per_iter", g.max_seconds_per_iteration)
+          .kv("mean_time_error_ratio", g.mean_time_error_ratio)
+          .kv("last_plan_source", g.last_plan_source)
+          .end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("history %s: %zu run(s) from %zu file(s) "
+              "(scanned %zu, skipped: %zu unparseable, %zu unknown-version, "
+              "%zu incomplete)\n",
+              dir.c_str(), store.size(), st.files_ingested, st.files_scanned,
+              st.files_unparseable, st.files_unknown_version,
+              st.files_incomplete);
+  if (groups.empty()) return 0;
+  std::printf("%-18s %-18s %-5s %-5s %-10s %-10s %-10s %-9s %s\n",
+              "fingerprint", "engine", "rank", "runs", "mean", "min", "max",
+              "err-ratio", "last-source");
+  for (const auto& g : groups) {
+    std::printf("%016llx   %-18s %-5u %-5zu %-10s %-10s %-10s %-9.2f %s\n",
+                static_cast<unsigned long long>(g.fingerprint),
+                g.engine_label.c_str(), g.rank, g.runs,
+                fmt_secs(g.mean_seconds_per_iteration).c_str(),
+                fmt_secs(g.min_seconds_per_iteration).c_str(),
+                fmt_secs(g.max_seconds_per_iteration).c_str(),
+                g.mean_time_error_ratio,
+                g.last_plan_source.empty() ? "?" : g.last_plan_source.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.positional().size() < 2)
+    usage("compare needs <base.jsonl> and <new.jsonl>");
+  const std::string base_path = args.positional()[0];
+  const std::string new_path = args.positional()[1];
+  const double threshold = args.get_num("threshold", 0.25);
+  if (threshold <= 0) usage("--threshold must be positive");
+
+  const auto base = obs::HistoryStore::parse_report_file(base_path);
+  const auto next = obs::HistoryStore::parse_report_file(new_path);
+  if (!base || !next) {
+    std::fprintf(stderr, "error: cannot parse %s\n",
+                 (!base ? base_path : new_path).c_str());
+    return 2;
+  }
+
+  // All time cells are normalized per iteration before comparison — two
+  // runs that converged after a different number of sweeps are still
+  // comparable. The threshold policy is shared with bench_diff
+  // (tools/compare_util.hpp).
+  std::vector<tools::Finding> findings;
+  int regressions = 0, structural = 0, compared = 0;
+  const auto gate = [&](std::string where, double b, double n) {
+    if (!(b > 0)) return;  // no baseline signal to compare against
+    ++compared;
+    tools::Finding f = tools::classify(std::move(where), b, n, threshold);
+    if (std::strcmp(f.status, "ok") != 0) {
+      if (std::strcmp(f.status, "regression") == 0) ++regressions;
+      findings.push_back(std::move(f));
+    }
+  };
+
+  if (base->fingerprint != next->fingerprint) {
+    findings.push_back(tools::structural_finding("header/fingerprint"));
+    ++structural;
+  }
+  if (base->engine_label != next->engine_label) {
+    // Different plans are a provenance change, not a timing regression.
+    findings.push_back(tools::structural_finding("summary/engine"));
+    ++structural;
+  }
+  gate("summary/mttkrp_seconds_per_iter", base->seconds_per_iteration,
+       next->seconds_per_iteration);
+  const std::size_t modes =
+      std::min(base->mode_seconds.size(), next->mode_seconds.size());
+  for (std::size_t m = 0; m < modes; ++m)
+    gate("summary/mode" + std::to_string(m) + "_seconds_per_iter",
+         base->mode_seconds[m], next->mode_seconds[m]);
+  if (base->mode_seconds.size() != next->mode_seconds.size()) {
+    findings.push_back(tools::structural_finding("summary/mttkrp_mode_seconds"));
+    ++structural;
+  }
+
+  if (args.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("schema", "mdcp-report-diff/1")
+        .kv("base", base_path)
+        .kv("new", new_path)
+        .kv("threshold", threshold)
+        .kv("cells_compared", compared)
+        .kv("regressions", regressions)
+        .kv("structural", structural);
+    w.key("findings").begin_array();
+    for (const auto& f : findings) {
+      w.begin_object().kv("where", f.where).kv("status", f.status);
+      if (std::strcmp(f.status, "structural") != 0)
+        w.kv("base", f.base).kv("new", f.next).kv("ratio", f.ratio);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("compare: %s vs %s (threshold %.0f%%)\n", base_path.c_str(),
+                new_path.c_str(), threshold * 100.0);
+    for (const auto& f : findings) {
+      if (std::strcmp(f.status, "structural") == 0) {
+        std::printf("  MISMATCH    %s\n", f.where.c_str());
+      } else {
+        std::printf("  %-11s %s  %s -> %s  (%.2fx)\n",
+                    std::strcmp(f.status, "regression") == 0 ? "REGRESSION"
+                                                             : "improved",
+                    f.where.c_str(), fmt_secs(f.base).c_str(),
+                    fmt_secs(f.next).c_str(), f.ratio);
+      }
+    }
+    std::printf("compared %d cell(s): %d regression(s), %d structural "
+                "problem(s)\n",
+                compared, regressions, structural);
+  }
+  if (structural > 0) return 2;
+  return regressions > 0 ? 1 : 0;
+}
+
+int cmd_drift(const Args& args) {
+  if (args.positional().empty()) usage("drift needs a report file");
+  const std::string report_path = args.positional()[0];
+  const std::string dir = args.get("history-dir");
+  if (dir.empty()) usage("drift needs --history-dir");
+
+  const auto run = obs::HistoryStore::parse_report_file(report_path);
+  if (!run) {
+    std::fprintf(stderr, "error: cannot parse %s\n", report_path.c_str());
+    return 2;
+  }
+  obs::HistoryStore store;
+  // The report under test must not band against itself.
+  store.ingest_dir(dir, {report_path});
+
+  obs::DriftOptions dopt;
+  dopt.sigma = args.get_num("sigma", dopt.sigma);
+  dopt.rel_floor = args.get_num("rel-floor", dopt.rel_floor);
+  if (dopt.sigma <= 0) usage("--sigma must be positive");
+  const obs::DriftReport dr = detect_drift(store, *run, dopt);
+
+  if (args.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("schema", "mdcp-drift/1")
+        .kv("report", report_path)
+        .kv("history_dir", dir)
+        .kv("sigma", dopt.sigma)
+        .kv("rel_floor", dopt.rel_floor)
+        .kv("history_runs", static_cast<std::uint64_t>(dr.history_runs))
+        .kv("regressed", dr.regressed)
+        .kv("out_of_band", dr.out_of_band);
+    w.key("findings").begin_array();
+    for (const auto& f : dr.findings) {
+      w.begin_object()
+          .kv("kernel", f.kernel)
+          .kv("status", f.status)
+          .kv("measured", f.measured)
+          .kv("median", f.median)
+          .kv("scale", f.scale)
+          .kv("z", f.z)
+          .end_object();
+    }
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("drift: %s (engine %s) vs %zu comparable run(s) in %s "
+                "(sigma %.2f, rel-floor %.2f)\n",
+                report_path.c_str(), run->engine_label.c_str(),
+                dr.history_runs, dir.c_str(), dopt.sigma, dopt.rel_floor);
+    if (dr.history_runs < 2) {
+      std::printf("insufficient history: need >= 2 comparable runs, "
+                  "nothing to band\n");
+      return 0;
+    }
+    for (const auto& f : dr.findings) {
+      std::printf("  %-10s %-8s measured %-10s median %-10s z %+.2f\n",
+                  f.status, f.kernel.c_str(), fmt_secs(f.measured).c_str(),
+                  fmt_secs(f.median).c_str(), f.z);
+    }
+    std::printf("%s\n", dr.regressed          ? "REGRESSION detected"
+                        : dr.out_of_band      ? "out-of-band (improvement)"
+                                              : "all kernels in band");
+  }
+  return dr.regressed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -653,6 +953,9 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "decompose") return cmd_decompose(args);
     if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "history") return cmd_history(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "drift") return cmd_drift(args);
     usage(("unknown command: " + cmd).c_str());
   } catch (const mdcp::error& e) {
     std::fprintf(stderr, "mdcp error: %s\n", e.what());
