@@ -9,12 +9,14 @@
 #include "la/cholesky.hpp"
 #include "model/tuner.hpp"
 #include "mttkrp/registry.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/history.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/timer.hpp"
 
 namespace mdcp {
@@ -111,6 +113,18 @@ CpAlsResult cp_als_best_of(const CooTensor& tensor,
 
 namespace {
 
+// Scoped crash-forensics registrations: the engine's KernelStats and (when
+// reporting) the pre-formatted `aborted` summary become reachable from the
+// watchdog dump and the signal handlers only while a run is actually in
+// flight.
+struct CrashScopeGuard {
+  bool report_attached = false;
+  ~CrashScopeGuard() {
+    obs::crash_set_kernel_stats(nullptr);
+    if (report_attached) obs::crash_detach_report();
+  }
+};
+
 void append_kernel_stats(obs::JsonWriter& w, const KernelStats& s) {
   w.key("kernel")
       .begin_object()
@@ -151,6 +165,51 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
   CpAlsResult result;
   result.engine_name = engine.name();
   result.mttkrp_mode_seconds.assign(order, 0.0);
+
+  // --- Liveness + crash forensics for this run. ---------------------------
+  // The engine's stats become reachable from crash dumps, and (when
+  // reporting) a pre-formatted `aborted` summary is registered so a signal
+  // handler can promote the in-flight `.tmp` report into one the history
+  // store ingests. Both registrations are scoped to the run by the guard.
+  std::atomic<bool> local_cancel{false};
+  CrashScopeGuard crash_scope;
+  obs::crash_set_kernel_stats(&engine.stats());
+  if (options.reporter != nullptr && options.reporter->ok()) {
+    const char* plan_src = engine.stats().plan_source;
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("type", "summary")
+        .kv("schema", obs::kReportSchema)
+        .kv("engine", result.engine_name)
+        .kv("rank", static_cast<std::uint64_t>(rank))
+        .kv("plan_source",
+            (plan_src != nullptr && plan_src[0] != '\0') ? plan_src : "fixed")
+        .kv("iterations", 0)
+        .kv("converged", false)
+        .kv("cancelled", false)
+        .kv("aborted", true)
+        .end_object();
+    obs::crash_attach_report(options.reporter->tmp_path(),
+                             options.reporter->path(), w.str());
+    crash_scope.report_attached = true;
+  }
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (options.watchdog.deadline_seconds > 0) {
+    obs::WatchdogOptions wd = options.watchdog;
+    if (wd.policy == obs::WatchdogPolicy::kCancel && wd.cancel == nullptr)
+      wd.cancel = options.cancel != nullptr ? options.cancel : &local_cancel;
+    watchdog = std::make_unique<obs::Watchdog>(wd);
+  }
+  // Cooperative cancellation: caller flag, watchdog-wired run-local flag, or
+  // a flag planted on the engine's KernelContext. Checked between modes and
+  // iterations only — kernels never poll mid-compute.
+  const auto cancel_requested = [&]() noexcept {
+    return (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) ||
+           local_cancel.load(std::memory_order_relaxed) ||
+           (engine.context().cancel != nullptr &&
+            engine.context().cancel->load(std::memory_order_relaxed));
+  };
 
   // Memo counter snapshots for per-iteration hit/miss deltas (global
   // registry counters; zero-delta for non-memoizing engines).
@@ -204,6 +263,8 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
                                       "exhausted (last cause: ") +
                           why + ")");
     MDCP_TRACE_SPAN("cpals.recovery", "mode", static_cast<std::int64_t>(n));
+    obs::fr_record(obs::FrEvent::kRecovery, obs::FrPhase::kSolve,
+                   static_cast<std::int64_t>(n));
     recoveries_metric.add();
     if (options.verbose)
       std::printf("[cp-als] recovery %d: %s, re-randomizing factor %u\n",
@@ -215,13 +276,36 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     engine.factor_updated(n);
   };
 
+  bool cancelled = false;
   for (int it = 0; it < options.max_iterations; ++it) {
     MDCP_TRACE_SPAN("cpals.iteration", "iter", static_cast<std::int64_t>(it));
+    obs::fr_record(obs::FrEvent::kIteration, obs::FrPhase::kIteration, it);
+    obs::fr_beat(obs::FrPhase::kIteration, it);
+    if (cancel_requested()) {
+      obs::fr_record(obs::FrEvent::kCancel, obs::FrPhase::kIteration, it);
+      cancelled = true;
+      break;
+    }
+    if (fault::should_inject(fault::Site::kStall)) {
+      obs::fr_record(
+          obs::FrEvent::kStall, obs::FrPhase::kIteration,
+          static_cast<std::int64_t>(
+              fault::FaultPlan::instance().config(fault::Site::kStall)
+                  .threshold));
+      fault::inject_stall();
+    }
+    if (fault::should_inject(fault::Site::kSegv)) fault::inject_segv();
     const KernelStats iter_stats_before = engine.stats();
     const std::uint64_t iter_hits_before = memo_hits.value();
     const std::uint64_t iter_misses_before = memo_misses.value();
 
     for (mode_t n = 0; n < order; ++n) {
+      if (n > 0 && cancel_requested()) {
+        obs::fr_record(obs::FrEvent::kCancel, obs::FrPhase::kIteration, it,
+                       static_cast<std::int64_t>(n));
+        cancelled = true;
+        break;
+      }
       mttkrp_t.start();
       engine.compute(n, factors, mttkrp_out);
       mttkrp_t.stop();
@@ -230,6 +314,7 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
       mode_latency[n]->record(mttkrp_t.last_seconds());
 
       MDCP_TRACE_SPAN("cpals.solve", "mode", static_cast<std::int64_t>(n));
+      obs::fr_beat(obs::FrPhase::kSolve, static_cast<std::int64_t>(n));
       dense_t.start();
       // H^(n) = ∘_{i≠n} Gram_i.
       h.resize(rank, rank, 1);
@@ -280,6 +365,7 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
 
       engine.factor_updated(n);
     }
+    if (cancelled) break;
 
     // Fit from the last sub-iteration's MTTKRP (mode order-1): M^(n) does not
     // depend on U^(n), so it is still consistent with the updated factor.
@@ -288,6 +374,7 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     real_t fit = 0;
     {
       MDCP_TRACE_SPAN("cpals.fit");
+      obs::fr_beat(obs::FrPhase::kFit, it);
       fit_t.start();
       real_t inner = 0;
       {
@@ -360,6 +447,14 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
     }
     prev_fit = fit;
   }
+
+  obs::fr_beat(obs::FrPhase::kShutdown);
+  if (watchdog != nullptr) {
+    watchdog->stop();
+    result.watchdog_fired = watchdog->fired();
+    result.watchdog_dump_path = watchdog->dump_path();
+  }
+  result.cancelled = cancelled;
 
   result.model.weights = std::move(lambda);
   result.model.factors = std::move(factors);
@@ -438,6 +533,9 @@ CpAlsResult cp_als(const CooTensor& tensor, MttkrpEngine& engine,
         .kv("plan_source", result.plan_source)
         .kv("iterations", result.iterations)
         .kv("converged", result.converged)
+        .kv("cancelled", result.cancelled)
+        .kv("aborted", false)
+        .kv("watchdog_fired", result.watchdog_fired)
         .kv("final_fit", static_cast<double>(result.final_fit()))
         .kv("total_seconds", result.total_seconds)
         .kv("mttkrp_seconds", result.mttkrp_seconds)

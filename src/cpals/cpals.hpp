@@ -8,12 +8,14 @@
 // — the dense reconstruction is never formed.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cpals/kruskal.hpp"
 #include "mttkrp/engine.hpp"
+#include "obs/watchdog.hpp"
 #include "tensor/coo_tensor.hpp"
 
 namespace mdcp {
@@ -94,6 +96,17 @@ struct CpAlsOptions {
   /// before history may override the model (same build/machine runs weigh
   /// 1 each; see obs::TrustPolicy).
   double history_min_weight = 1.0;
+  /// Cooperative cancellation flag (null = never cancelled). Checked between
+  /// modes and iterations; when it flips, the run stops cleanly with
+  /// result.cancelled = true and a "cancelled":true summary record instead
+  /// of a hard abort. Set by `mdcp_cli --timeout-s` and by the watchdog's
+  /// cancel policy.
+  std::atomic<bool>* cancel = nullptr;
+  /// Opt-in stall watchdog for this run (deadline_seconds <= 0 = off, the
+  /// default). cp_als starts the monitor thread for the duration of the run;
+  /// under the kCancel policy with no explicit `cancel` target it is wired
+  /// to a run-local flag automatically. See obs/watchdog.hpp.
+  obs::WatchdogOptions watchdog;
 };
 
 struct CpAlsResult {
@@ -141,6 +154,15 @@ struct CpAlsResult {
   /// "history" (measured-best override), or "fixed" (the engine was not
   /// model-driven). Mirrored into the JSONL summary record.
   std::string plan_source;
+
+  /// True when the run stopped at a cooperative-cancellation check (timeout,
+  /// watchdog cancel policy, or a caller-set CpAlsOptions::cancel flag). The
+  /// factors reflect the last completed update; converged stays false.
+  bool cancelled = false;
+  /// Watchdog telemetry for this run (meaningful only when
+  /// CpAlsOptions::watchdog armed one).
+  bool watchdog_fired = false;
+  std::string watchdog_dump_path;
 
   real_t final_fit() const { return fits.empty() ? 0 : fits.back(); }
 };

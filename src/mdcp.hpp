@@ -35,6 +35,7 @@
 #include "mttkrp/registry.hpp"
 #include "mttkrp/ttv_chain.hpp"
 #include "obs/clock.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/history.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +43,7 @@
 #include "obs/report.hpp"
 #include "obs/roofline.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "tensor/compact.hpp"
 #include "tensor/coo_tensor.hpp"
 #include "tensor/generator.hpp"

@@ -4,6 +4,7 @@
 #include <limits>
 #include <string_view>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 #include "obs/trace.hpp"
@@ -81,8 +82,12 @@ void MttkrpEngine::prepare(const CooTensor& tensor, index_t rank) {
   {
     MDCP_TRACE_SPAN(("prepare:" + name()).c_str(), "rank",
                     static_cast<std::int64_t>(rank));
+    obs::fr_record(obs::FrEvent::kPrepareBegin, obs::FrPhase::kPrepare,
+                   static_cast<std::int64_t>(rank));
+    obs::fr_beat(obs::FrPhase::kPrepare, static_cast<std::int64_t>(rank));
     ThreadScope scope(ctx_.threads);
     do_prepare(rank);
+    obs::fr_record(obs::FrEvent::kPrepareEnd, obs::FrPhase::kPrepare);
   }
   // name() may change during do_prepare (the auto engine resolves to its
   // chosen strategy), so the compute-span label is cached afterwards.
@@ -109,8 +114,25 @@ void MttkrpEngine::compute(mode_t mode, const std::vector<Matrix>& factors,
     // perf.* metrics (no-ops at two relaxed loads when both are off).
     obs::PerfRegion perf_region(trace_label_.c_str(), "mode",
                                 static_cast<std::int64_t>(mode));
+    obs::fr_record(obs::FrEvent::kComputeBegin, obs::FrPhase::kCompute,
+                   static_cast<std::int64_t>(mode));
+    obs::fr_beat(obs::FrPhase::kCompute, static_cast<std::int64_t>(mode));
+    // Fault-injection site: deterministic liveness stall so watchdog firing
+    // is testable without wall-clock flakiness. The sleeping thread stops
+    // beating, which is exactly the signal the watchdog watches for.
+    if (fault::should_inject(fault::Site::kStall)) {
+      obs::fr_record(
+          obs::FrEvent::kStall, obs::FrPhase::kCompute,
+          static_cast<std::int64_t>(
+              fault::FaultPlan::instance().config(fault::Site::kStall)
+                  .threshold));
+      fault::inject_stall();
+    }
     ThreadScope scope(ctx_.threads);
     do_compute(mode, factors, out);
+    obs::fr_record(obs::FrEvent::kComputeEnd, obs::FrPhase::kCompute,
+                   static_cast<std::int64_t>(mode));
+    obs::fr_beat(obs::FrPhase::kCompute, static_cast<std::int64_t>(mode));
     // Fault-injection site: poison the kernel output with a quiet NaN so the
     // CP-ALS numerical-recovery path can be exercised deterministically.
     // Compiled to nothing without MDCP_ENABLE_FAULTINJECT.
@@ -158,6 +180,9 @@ void MttkrpEngine::record_schedule(const sched::Decision& d,
                       ? "sched.privatized"
                       : "sched.owner",
                   "tiles", static_cast<std::int64_t>(d.tiles));
+  obs::fr_record(obs::FrEvent::kTileBatch, obs::FrPhase::kCompute,
+                 static_cast<std::int64_t>(d.tiles),
+                 static_cast<std::int64_t>(d.schedule));
   if (bump_metrics) {
     owner_launches_metric().add(owner_launches);
     privatized_launches_metric().add(privatized_launches);
@@ -188,6 +213,7 @@ void MttkrpEngine::record_plan_source(const char* source) noexcept {
 }
 
 void MttkrpEngine::record_degradation(const char* reason) noexcept {
+  obs::fr_record(obs::FrEvent::kDegradation, obs::FrPhase::kCompute);
   ++stats_.degradations;
   stats_.last_degradation_reason = reason;
   degradations_metric().add();

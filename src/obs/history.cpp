@@ -156,6 +156,8 @@ std::optional<RunObservation> HistoryStore::parse_report_file(
   if (const JsonValue* v =
           summary->find("plan_source", JsonValue::Kind::kString))
     obs.plan_source = v->as_string();
+  if (const JsonValue* v = summary->find("aborted", JsonValue::Kind::kBool))
+    obs.aborted = v->as_bool();
 
   double mttkrp_seconds = 0;
   if (const JsonValue* v =
@@ -205,6 +207,13 @@ HistoryIngestStats HistoryStore::ingest_dir(
   std::vector<fs::path> files;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() == ".tmp") {
+      // A RunReporter stream that never reached close(): the run died and
+      // nothing (not even the crash handler) promoted it. Make the loss
+      // visible instead of pretending the run never happened.
+      ++stats.files_orphaned_tmp;
+      continue;
+    }
     if (entry.path().extension() != ".jsonl") continue;
     const fs::path canon = fs::weakly_canonical(entry.path(), ec);
     if (std::find(excluded.begin(), excluded.end(), canon) != excluded.end())
@@ -290,10 +299,18 @@ std::vector<HistoryStore::Group> HistoryStore::groups() const {
   for (const RunObservation& obs : observations_) {
     const Key key{obs.fingerprint, obs.engine_label, obs.rank};
     Group& g = grouped[key];
-    if (g.runs == 0) {
+    if (g.runs == 0 && g.aborted_runs == 0) {
       g.fingerprint = obs.fingerprint;
       g.engine_label = obs.engine_label;
       g.rank = obs.rank;
+    }
+    if (obs.aborted) {
+      // Crash-finalized record: count it, but keep its zero timings out of
+      // the group's statistics.
+      ++g.aborted_runs;
+      continue;
+    }
+    if (g.runs == 0) {
       g.min_seconds_per_iteration = obs.seconds_per_iteration;
       g.max_seconds_per_iteration = obs.seconds_per_iteration;
     }
@@ -312,7 +329,7 @@ std::vector<HistoryStore::Group> HistoryStore::groups() const {
   std::vector<Group> out;
   out.reserve(grouped.size());
   for (auto& [key, g] : grouped) {
-    g.mean_seconds_per_iteration /= static_cast<double>(g.runs);
+    if (g.runs > 0) g.mean_seconds_per_iteration /= static_cast<double>(g.runs);
     const auto it = error_acc.find(key);
     if (it != error_acc.end() && it->second.second > 0)
       g.mean_time_error_ratio =

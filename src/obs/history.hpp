@@ -51,6 +51,10 @@ struct RunObservation {
   double final_fit = 0;
   std::string plan_source;  ///< "model" | "history" | "fixed" ("" = unknown)
   std::string source_file;  ///< report path ("" = recorded in-process)
+  /// True when the summary record was written by the crash handler
+  /// ("aborted":true): the run died mid-flight. Counted per group but never
+  /// fed into timing statistics (iterations is 0 on such records).
+  bool aborted = false;
 };
 
 /// Ingest bookkeeping. Skips are counted, never thrown: a poisoned file in a
@@ -61,6 +65,11 @@ struct HistoryIngestStats {
   std::size_t files_unparseable = 0;      ///< bad JSON / truncated mid-record
   std::size_t files_unknown_version = 0;  ///< report_version > kReportVersion
   std::size_t files_incomplete = 0;       ///< missing header or summary
+  /// `*.tmp` leftovers from runs that died before RunReporter::close() could
+  /// rename them (and before any crash handler promoted them). They carry no
+  /// summary and are never ingested, but they are evidence of crashed runs —
+  /// surfaced here (and by `mdcp_cli history`) instead of silently skipped.
+  std::size_t files_orphaned_tmp = 0;
 };
 
 /// How much a stored observation is believed when consulted for planning.
@@ -175,7 +184,8 @@ class HistoryStore {
     std::uint64_t fingerprint = 0;
     std::string engine_label;
     std::uint32_t rank = 0;
-    std::size_t runs = 0;
+    std::size_t runs = 0;          ///< completed runs (timing stats below)
+    std::size_t aborted_runs = 0;  ///< crash-finalized runs (no timings)
     double mean_seconds_per_iteration = 0;
     double min_seconds_per_iteration = 0;
     double max_seconds_per_iteration = 0;

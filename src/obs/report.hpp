@@ -80,6 +80,11 @@ class RunReporter {
   /// The final (post-rename) report path.
   const std::string& path() const noexcept { return path_; }
 
+  /// The in-flight `<path>.tmp` the lines are streamed to before close().
+  /// Exposed so crash forensics (obs/watchdog.hpp) can pre-open it and
+  /// promote it with an `aborted` summary if the process dies mid-run.
+  const std::string& tmp_path() const noexcept { return tmp_path_; }
+
  private:
   std::string path_;
   std::string tmp_path_;

@@ -1,6 +1,9 @@
 #include "util/faultinject.hpp"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <thread>
 
 #include "util/error.hpp"
 
@@ -11,6 +14,8 @@ const char* site_name(Site s) noexcept {
     case Site::kAlloc: return "alloc";
     case Site::kNan: return "nan";
     case Site::kIo: return "io";
+    case Site::kStall: return "stall";
+    case Site::kSegv: return "segv";
   }
   return "?";
 }
@@ -23,7 +28,7 @@ Site site_from_name(const std::string& name) {
     if (name == site_name(s)) return s;
   }
   throw error("fault spec names unknown site '" + name +
-              "' (known: alloc, nan, io)");
+              "' (known: alloc, nan, io, stall, segv)");
 }
 
 std::uint64_t parse_u64(const std::string& tok, const std::string& clause) {
@@ -94,11 +99,11 @@ void FaultPlan::parse_spec(const std::string& spec) {
       cfg.every = value;
     } else if (key == "limit") {
       cfg.limit = value;
-    } else if (key == "bytes" || key == "lines") {
+    } else if (key == "bytes" || key == "lines" || key == "ms") {
       cfg.threshold = value;
     } else {
       throw error("fault spec clause '" + clause + "' has unknown key '" +
-                  key + "' (known: nth, every, limit, bytes, lines)");
+                  key + "' (known: nth, every, limit, bytes, lines, ms)");
     }
     touched[static_cast<int>(site)] = true;
   }
@@ -160,6 +165,19 @@ std::uint64_t FaultPlan::injected_total() const noexcept {
   std::uint64_t n = 0;
   for (int i = 0; i < kSiteCount; ++i) n += injected(static_cast<Site>(i));
   return n;
+}
+
+void inject_stall() noexcept {
+  std::uint64_t ms = FaultPlan::instance().config(Site::kStall).threshold;
+  if (ms == 0) ms = 1000;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void inject_segv() noexcept {
+  // raise() instead of a wild store: same handler path, no UB the optimizer
+  // may reorder away.
+  std::raise(SIGSEGV);
+  std::abort();  // unreachable unless SIGSEGV is blocked
 }
 
 }  // namespace mdcp::fault

@@ -18,17 +18,23 @@
 //
 //   spec    := clause (';' clause)*
 //   clause  := site '.' key '=' value
-//   site    := 'alloc' | 'nan' | 'io'
+//   site    := 'alloc' | 'nan' | 'io' | 'stall' | 'segv'
 //   key     := 'nth'    fire on the nth visit to the site (1-based)
 //            | 'every'  after the first firing, fire on every k-th visit
 //            | 'limit'  stop injecting after this many faults (0 = unlimited)
 //            | 'bytes'  alloc only: fail any growth past this total footprint
 //            | 'lines'  io only: truncate the stream after this many lines
+//            | 'ms'     stall only: sleep duration in milliseconds
 //
 //   MDCP_FAULTINJECT="alloc.nth=3"            fail the 3rd workspace growth
 //   MDCP_FAULTINJECT="alloc.bytes=1048576"    fail growth past 1 MiB total
 //   MDCP_FAULTINJECT="nan.nth=2;nan.limit=1"  poison the 2nd kernel output
 //   MDCP_FAULTINJECT="io.lines=10"            short-read after 10 tns lines
+//   MDCP_FAULTINJECT="stall.nth=2;stall.ms=2000"  sleep 2 s at the 2nd
+//                                             engine-compute/ALS-iteration
+//                                             visit (watchdog testing)
+//   MDCP_FAULTINJECT="segv.nth=5"             raise SIGSEGV on the 5th visit
+//                                             (crash-forensics testing)
 #pragma once
 
 #include <atomic>
@@ -47,10 +53,12 @@ enum class Site : int {
   kAlloc = 0,  ///< Workspace slab growth (throws std::bad_alloc when fired)
   kNan = 1,    ///< MTTKRP kernel output (poisons out(0,0) with a quiet NaN)
   kIo = 2,     ///< .tns reader (truncates the stream mid-record)
+  kStall = 3,  ///< engine-compute / ALS-iteration liveness stall (sleeps)
+  kSegv = 4,   ///< deliberate SIGSEGV (exercises the crash handlers)
 };
-inline constexpr int kSiteCount = 3;
+inline constexpr int kSiteCount = 5;
 
-/// Stable spec/site spelling ("alloc", "nan", "io").
+/// Stable spec/site spelling ("alloc", "nan", "io", "stall", "segv").
 const char* site_name(Site s) noexcept;
 
 /// Deterministic trigger for one site. All-zero = disarmed.
@@ -59,7 +67,9 @@ struct SiteConfig {
   std::uint64_t every = 0;  ///< re-fire period after the first hit; 0 = once
   std::uint64_t limit = 0;  ///< max injections (0 = unlimited)
   /// kAlloc: fail any growth that would push the workspace total past this
-  /// many bytes. kIo: truncate after this many input lines. Unused for kNan.
+  /// many bytes. kIo: truncate after this many input lines. kStall: sleep
+  /// duration in milliseconds (does not trigger by itself — pair with nth).
+  /// Unused for kNan/kSegv.
   std::uint64_t threshold = 0;
 
   bool armed() const noexcept { return nth != 0 || threshold != 0; }
@@ -137,5 +147,14 @@ inline constexpr bool should_inject(Site, std::uint64_t = 0) noexcept {
 inline constexpr bool enabled() noexcept { return false; }
 
 #endif  // MDCP_ENABLE_FAULTINJECT
+
+/// Executes a fired kStall fault: sleeps for the site's `ms` threshold
+/// (default 1000 ms when unset). Call only after should_inject(kStall)
+/// returned true.
+void inject_stall() noexcept;
+
+/// Executes a fired kSegv fault: raises SIGSEGV so the installed crash
+/// handlers run exactly as they would for a real wild pointer.
+[[noreturn]] void inject_segv() noexcept;
 
 }  // namespace mdcp::fault

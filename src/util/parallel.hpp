@@ -8,9 +8,16 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/flightrec.hpp"
 #include "util/types.hpp"
 
 namespace mdcp {
+
+/// Heartbeat cadence inside parallel loops: each worker publishes a
+/// flight-recorder beat every 2^k iterations (mask test, so the steady-state
+/// cost per iteration is one AND + one predictable branch). Coarse on
+/// purpose — the watchdog deadlines are hundreds of milliseconds and up.
+inline constexpr nnz_t kHeartbeatStride = 1024;
 
 /// Number of threads mdcp kernels will use (defaults to OpenMP's default).
 int num_threads() noexcept;
@@ -56,6 +63,9 @@ template <typename Fn>
 void parallel_for(nnz_t n, Fn&& fn) {
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if ((static_cast<nnz_t>(i) & (kHeartbeatStride - 1)) == 0) {
+      obs::fr_beat(obs::FrPhase::kParallelFor, i);
+    }
     fn(static_cast<nnz_t>(i));
   }
 }
@@ -68,6 +78,9 @@ void parallel_for_dynamic(nnz_t n, Fn&& fn, nnz_t grain = 64) {
   const auto chunk = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
 #pragma omp parallel for schedule(dynamic, chunk)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if ((static_cast<nnz_t>(i) & (kHeartbeatStride - 1)) == 0) {
+      obs::fr_beat(obs::FrPhase::kParallelFor, i);
+    }
     fn(static_cast<nnz_t>(i));
   }
 }
@@ -82,6 +95,7 @@ void parallel_for_chunked(nnz_t n, Fn&& fn) {
   {
     const int parts = team_size();
     const int tid = thread_id();
+    obs::fr_beat(obs::FrPhase::kParallelFor, tid);
     fn(tid, chunk_range(n, parts, tid));
   }
 }

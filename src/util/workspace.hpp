@@ -216,6 +216,11 @@ struct KernelContext {
   /// to exceed it, and the AutoEngine walks its degradation chain
   /// (dtree → ttv-chain → csf → coo) on a predicted or actual violation.
   std::size_t mem_budget = 0;
+  /// Cooperative cancellation flag (null = never cancelled). Checked by the
+  /// CP-ALS driver between modes and iterations; set by the watchdog's
+  /// `cancel` policy and by `mdcp_cli --timeout-s`. Kernels never poll it
+  /// mid-compute — cancellation lands at the next mode boundary.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace mdcp

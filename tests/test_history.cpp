@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,25 @@ TEST(HistoryIngest, MissingDirectoryIngestsNothing) {
   const auto stats = store.ingest_dir(fixture_dir() + "/does-not-exist");
   EXPECT_EQ(stats.files_scanned, 0u);
   EXPECT_TRUE(store.empty());
+}
+
+TEST(HistoryIngest, OrphanedTmpReportsAreCountedNotIngested) {
+  // A `<path>.tmp` leftover is a run that died before RunReporter::close()
+  // (and before any crash handler promoted it) — evidence of a crash the
+  // skip counters must surface instead of silently ignoring.
+  const std::string dir = ::testing::TempDir() + "/mdcp_orphan_tmp";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream os(dir + "/run-123.jsonl.tmp");
+    os << "{\"type\":\"header\",\"schema\":\"mdcp-run-report/1\"}\n";
+  }
+  obs::HistoryStore store;
+  const auto stats = store.ingest_dir(dir);
+  EXPECT_EQ(stats.files_orphaned_tmp, 1u);
+  EXPECT_EQ(stats.files_ingested, 0u);
+  EXPECT_EQ(stats.files_scanned, 0u);  // never entered the .jsonl scan
+  EXPECT_TRUE(store.empty());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(HistoryIngest, GoldenV2FieldsRoundTrip) {

@@ -11,16 +11,20 @@
 //                      [--out-prefix P]
 //                      [--trace T.json] [--metrics M.json] [--report R.jsonl]
 //                      [--history-dir D] [--no-history] [--history-min-obs K]
+//                      [--watchdog-s N] [--watchdog-policy report|cancel|abort]
+//                      [--timeout-s N] [--crash-dir D]
 //   mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] [--reps N]
 //                    [--threads T] [--calib-seconds S] [--json] [--out F]
 //   mdcp_cli history <dir> [--json]
 //   mdcp_cli compare <base.jsonl> <new.jsonl> [--threshold T] [--json]
 //   mdcp_cli drift <report.jsonl> --history-dir D [--sigma S]
 //                  [--rel-floor F] [--json]
+//   mdcp_cli postmortem <crash-dump.json> [--events N] [--json]
 //
 // Exit status: 0 on success, 1 on usage errors (compare/drift: 1 also means
 // a regression was found), 2 on runtime/structural errors.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -62,7 +66,9 @@ using namespace mdcp;
                "[--metrics M.json]\n"
                "                     [--report R.jsonl] [--history-dir D] "
                "[--no-history]\n"
-               "                     [--history-min-obs K]\n"
+               "                     [--history-min-obs K] [--watchdog-s N] "
+               "[--watchdog-policy P]\n"
+               "                     [--timeout-s N] [--crash-dir D]\n"
                "  mdcp_cli profile [tensor.tns] [--rank R] [--engines a,b,...] "
                "[--reps N]\n"
                "                   [--threads T] [--calib-seconds S] [--json] "
@@ -72,6 +78,8 @@ using namespace mdcp;
                "[--json]\n"
                "  mdcp_cli drift <report.jsonl> --history-dir D [--sigma S]\n"
                "                 [--rel-floor F] [--json]\n"
+               "  mdcp_cli postmortem <crash-dump.json> [--events N] "
+               "[--json]\n"
                "\nengines:\n");
   for (const auto& e : EngineRegistry::instance().entries())
     std::fprintf(stderr, "  %-12s %s\n", e.name.c_str(),
@@ -345,11 +353,41 @@ int cmd_decompose(const Args& args) {
     opt.history_min_weight = args.get_num("history-min-obs", 1.0);
   }
 
+  const std::string algorithm = args.get("algorithm", "als");
+  if (algorithm != "als" && algorithm != "mu")
+    usage(("unknown --algorithm: " + algorithm).c_str());
+
+  // Liveness + crash forensics: a stall watchdog for the run (--watchdog-s),
+  // a cooperative wall-clock timeout (--timeout-s), and process-wide signal
+  // handlers that dump the flight recorder into --crash-dir on a fatal
+  // signal. All argument validation happens above this point — usage() exits
+  // without running the uninstall guard.
+  const std::string crash_dir = args.get("crash-dir", ".");
+  opt.watchdog.deadline_seconds = args.get_num("watchdog-s", 0);
+  opt.watchdog.dump_dir = crash_dir;
+  if (args.has("watchdog-policy") &&
+      !obs::watchdog_policy_from_name(args.get("watchdog-policy"),
+                                      opt.watchdog.policy))
+    usage("bad --watchdog-policy (report|cancel|abort)");
+  std::atomic<bool> cancel_flag{false};
+  opt.cancel = &cancel_flag;
+  std::unique_ptr<obs::CancelTimer> timeout;
+  if (args.get_num("timeout-s", 0) > 0)
+    timeout = std::make_unique<obs::CancelTimer>(args.get_num("timeout-s", 0),
+                                                 &cancel_flag);
+  struct CrashInstallGuard {
+    ~CrashInstallGuard() { obs::crash_handlers_uninstall(); }
+  } crash_guard;
+  if (!obs::crash_handlers_install(crash_dir))
+    std::fprintf(stderr,
+                 "warning: cannot pre-open crash dump in %s; signal "
+                 "forensics disabled\n",
+                 crash_dir.c_str());
+
   // Runs the tuner could consult (cp_als records this run into the store
   // afterwards, so the size is captured before).
   const std::size_t prior_runs = history.size();
   const int restarts = static_cast<int>(args.get_num("restarts", 1));
-  const std::string algorithm = args.get("algorithm", "als");
   CpAlsResult result;
   if (algorithm == "mu") {
     result = cp_mu(t, opt);
@@ -361,7 +399,12 @@ int cmd_decompose(const Args& args) {
 
   std::printf("engine: %s\n", result.engine_name.c_str());
   std::printf("iterations: %d (%s)\n", result.iterations,
-              result.converged ? "converged" : "max-iters");
+              result.converged
+                  ? "converged"
+                  : (result.cancelled ? "cancelled" : "max-iters"));
+  if (result.watchdog_fired)
+    std::printf("watchdog: fired, dump %s\n",
+                result.watchdog_dump_path.c_str());
   std::printf("final fit: %.6f\n", static_cast<double>(result.final_fit()));
   std::printf("time: total %.3fs  mttkrp %.3fs  dense %.3fs  fit %.3fs\n",
               result.total_seconds, result.mttkrp_seconds,
@@ -733,6 +776,8 @@ int cmd_history(const Args& args) {
         .kv("files_unknown_version",
             static_cast<std::uint64_t>(st.files_unknown_version))
         .kv("files_incomplete", static_cast<std::uint64_t>(st.files_incomplete))
+        .kv("files_orphaned_tmp",
+            static_cast<std::uint64_t>(st.files_orphaned_tmp))
         .end_object();
     w.key("groups").begin_array();
     for (const auto& g : groups) {
@@ -744,6 +789,7 @@ int cmd_history(const Args& args) {
           .kv("engine", g.engine_label)
           .kv("rank", static_cast<std::uint64_t>(g.rank))
           .kv("runs", static_cast<std::uint64_t>(g.runs))
+          .kv("aborted_runs", static_cast<std::uint64_t>(g.aborted_runs))
           .kv("mean_seconds_per_iter", g.mean_seconds_per_iteration)
           .kv("min_seconds_per_iter", g.min_seconds_per_iteration)
           .kv("max_seconds_per_iter", g.max_seconds_per_iteration)
@@ -758,23 +804,164 @@ int cmd_history(const Args& args) {
 
   std::printf("history %s: %zu run(s) from %zu file(s) "
               "(scanned %zu, skipped: %zu unparseable, %zu unknown-version, "
-              "%zu incomplete)\n",
+              "%zu incomplete, %zu orphaned .tmp)\n",
               dir.c_str(), store.size(), st.files_ingested, st.files_scanned,
               st.files_unparseable, st.files_unknown_version,
-              st.files_incomplete);
+              st.files_incomplete, st.files_orphaned_tmp);
+  if (st.files_orphaned_tmp > 0)
+    std::printf("note: %zu orphaned .tmp report(s) — runs that died before "
+                "finalizing (crash without handlers, or kill -9)\n",
+                st.files_orphaned_tmp);
   if (groups.empty()) return 0;
-  std::printf("%-18s %-18s %-5s %-5s %-10s %-10s %-10s %-9s %s\n",
-              "fingerprint", "engine", "rank", "runs", "mean", "min", "max",
-              "err-ratio", "last-source");
+  std::printf("%-18s %-18s %-5s %-5s %-5s %-10s %-10s %-10s %-9s %s\n",
+              "fingerprint", "engine", "rank", "runs", "abrt", "mean", "min",
+              "max", "err-ratio", "last-source");
   for (const auto& g : groups) {
-    std::printf("%016llx   %-18s %-5u %-5zu %-10s %-10s %-10s %-9.2f %s\n",
+    std::printf("%016llx   %-18s %-5u %-5zu %-5zu %-10s %-10s %-10s %-9.2f %s\n",
                 static_cast<unsigned long long>(g.fingerprint),
-                g.engine_label.c_str(), g.rank, g.runs,
+                g.engine_label.c_str(), g.rank, g.runs, g.aborted_runs,
                 fmt_secs(g.mean_seconds_per_iteration).c_str(),
                 fmt_secs(g.min_seconds_per_iteration).c_str(),
                 fmt_secs(g.max_seconds_per_iteration).c_str(),
                 g.mean_time_error_ratio,
                 g.last_plan_source.empty() ? "?" : g.last_plan_source.c_str());
+  }
+  return 0;
+}
+
+// Renders a `mdcp-crash-dump/1` JSONL dump (watchdog firing or fatal-signal
+// handler) into per-thread timelines and a likely-stalled-phase verdict.
+// Exit 0 for any parseable dump — including truncated ones, which are the
+// norm for real crashes — and 2 only when no crash header can be found.
+int cmd_postmortem(const Args& args) {
+  if (args.positional().empty()) usage("postmortem needs a crash dump file");
+  const std::string path = args.positional()[0];
+  obs::CrashDumpAnalysis a;
+  std::string err;
+  if (!obs::analyze_crash_dump(path, a, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  std::size_t max_events = static_cast<std::size_t>(args.get_num("events", 8));
+  if (max_events == 0) max_events = 8;
+
+  // Last `max_events` ring entries per thread, oldest-first within each.
+  std::map<std::uint32_t, std::vector<const obs::CrashEvent*>> tail_by_tid;
+  for (const auto& e : a.events) {
+    auto& v = tail_by_tid[e.tid];
+    v.push_back(&e);
+    if (v.size() > max_events) v.erase(v.begin());
+  }
+
+  const auto age_seconds = [&](std::uint64_t ts_ns) {
+    return a.now_ns >= ts_ns
+               ? static_cast<double>(a.now_ns - ts_ns) / 1e9
+               : 0.0;
+  };
+
+  if (args.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object()
+        .kv("schema", "mdcp-postmortem/1")
+        .kv("dump", path)
+        .kv("cause", a.cause)
+        .kv("signal", a.signal)
+        .kv("pid", a.pid)
+        .kv("host", a.host)
+        .kv("now_ns", a.now_ns)
+        .kv("complete", a.complete)
+        .kv("truncated_lines", static_cast<std::uint64_t>(a.truncated_lines));
+    w.key("threads").begin_array();
+    for (const auto& t : a.threads) {
+      w.begin_object()
+          .kv("tid", static_cast<std::uint64_t>(t.tid))
+          .kv("epoch", t.epoch)
+          .kv("age_ns", t.age_ns)
+          .kv("phase", t.phase)
+          .kv("detail", t.detail)
+          .end_object();
+    }
+    w.end_array();
+    w.key("events").begin_array();
+    for (const auto& [tid, tail] : tail_by_tid) {
+      for (const auto* e : tail) {
+        w.begin_object()
+            .kv("tid", static_cast<std::uint64_t>(tid))
+            .kv("seq", e->seq)
+            .kv("age_seconds", age_seconds(e->ts_ns))
+            .kv("kind", e->kind)
+            .kv("phase", e->phase)
+            .kv("a", e->a)
+            .kv("b", e->b)
+            .end_object();
+      }
+    }
+    w.end_array();
+    if (a.has_kernel_stats) {
+      w.key("kernel")
+          .begin_object()
+          .kv("compute_calls", a.compute_calls)
+          .kv("degradations", a.degradations)
+          .end_object();
+    }
+    w.key("counters").begin_array();
+    for (const auto& [name, value] : a.counters)
+      w.begin_object().kv("name", name).kv("value", value).end_object();
+    w.end_array();
+    w.key("verdict").begin_object().kv("available", a.has_verdict);
+    if (a.has_verdict) {
+      w.kv("tid", static_cast<std::uint64_t>(a.verdict_tid))
+          .kv("phase", a.verdict_phase)
+          .kv("detail", a.verdict_detail)
+          .kv("quiet_seconds", static_cast<double>(a.verdict_age_ns) / 1e9);
+    }
+    w.end_object().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("postmortem: %s\n", path.c_str());
+  if (a.signal != 0)
+    std::printf("cause: %s (signal %d)  pid %lld  host %s\n", a.cause.c_str(),
+                a.signal, static_cast<long long>(a.pid), a.host.c_str());
+  else
+    std::printf("cause: %s  pid %lld  host %s\n", a.cause.c_str(),
+                static_cast<long long>(a.pid), a.host.c_str());
+  std::printf("dump: %s (%zu unparseable line(s))\n",
+              a.complete ? "complete" : "TRUNCATED", a.truncated_lines);
+  if (a.has_kernel_stats)
+    std::printf("kernel: %llu compute call(s), %llu degradation(s)\n",
+                static_cast<unsigned long long>(a.compute_calls),
+                static_cast<unsigned long long>(a.degradations));
+
+  std::printf("threads (%zu):\n", a.threads.size());
+  for (const auto& t : a.threads) {
+    std::printf("  tid %-3u phase %-12s detail %-6lld epoch %-8llu "
+                "quiet %.3fs\n",
+                t.tid, t.phase.c_str(), static_cast<long long>(t.detail),
+                static_cast<unsigned long long>(t.epoch),
+                static_cast<double>(t.age_ns) / 1e9);
+  }
+
+  std::printf("events (last %zu per thread, oldest first):\n", max_events);
+  for (const auto& [tid, tail] : tail_by_tid) {
+    std::printf("  tid %u:\n", tid);
+    for (const auto* e : tail) {
+      std::printf("    [seq %llu] -%.3fs %-13s phase=%-12s a=%lld b=%lld\n",
+                  static_cast<unsigned long long>(e->seq),
+                  age_seconds(e->ts_ns), e->kind.c_str(), e->phase.c_str(),
+                  static_cast<long long>(e->a), static_cast<long long>(e->b));
+    }
+  }
+
+  if (a.has_verdict) {
+    std::printf("verdict: likely stalled in phase '%s' (detail %lld), "
+                "tid %u, quiet %.3fs before the dump\n",
+                a.verdict_phase.c_str(),
+                static_cast<long long>(a.verdict_detail), a.verdict_tid,
+                static_cast<double>(a.verdict_age_ns) / 1e9);
+  } else {
+    std::printf("verdict: no heartbeat data — cannot attribute the stall\n");
   }
   return 0;
 }
@@ -956,6 +1143,7 @@ int main(int argc, char** argv) {
     if (cmd == "history") return cmd_history(args);
     if (cmd == "compare") return cmd_compare(args);
     if (cmd == "drift") return cmd_drift(args);
+    if (cmd == "postmortem") return cmd_postmortem(args);
     usage(("unknown command: " + cmd).c_str());
   } catch (const mdcp::error& e) {
     std::fprintf(stderr, "mdcp error: %s\n", e.what());
