@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "mttkrp/alto.hpp"
 #include "mttkrp/microkernel.hpp"
 #include "util/parallel.hpp"
 
@@ -37,8 +38,8 @@ int main(int argc, char** argv) {
 
   note("== F4: MTTKRP sweep time vs rank (1 thread) ==\n\n");
   for (const auto& ds : datasets) {
-    TablePrinter table({"rank", "tile", "csf", "dtree-bdt", "speedup"}, 14,
-                       "F4/" + ds.name);
+    TablePrinter table({"rank", "tile", "csf", "alto", "dtree-bdt", "speedup"},
+                       14, "F4/" + ds.name);
     std::ostringstream tiles;
     for (index_t rank : ranks) {
       std::vector<Matrix> factors;
@@ -47,6 +48,8 @@ int main(int argc, char** argv) {
 
       CsfMttkrpEngine csf(ds.tensor);
       const double csf_time = time_mttkrp_sweep(csf, ds.tensor, factors);
+      AltoMttkrpEngine alto(ds.tensor);
+      const double alto_time = time_mttkrp_sweep(alto, ds.tensor, factors);
       auto bdt = make_dtree_bdt(ds.tensor);
       const double bdt_time = time_mttkrp_sweep(*bdt, ds.tensor, factors);
       // The engine reports the tile its last compute actually dispatched;
@@ -55,8 +58,8 @@ int main(int argc, char** argv) {
       if (tiles.tellp() > 0) tiles << ",";
       tiles << rank << ":" << tile;
       table.add_row({std::to_string(rank), std::to_string(tile),
-                     fmt_seconds(csf_time), fmt_seconds(bdt_time),
-                     fmt_ratio(csf_time / bdt_time)});
+                     fmt_seconds(csf_time), fmt_seconds(alto_time),
+                     fmt_seconds(bdt_time), fmt_ratio(csf_time / bdt_time)});
     }
     // Selected tile per rank (rank:tile pairs), in the --json meta object.
     table.add_meta("mk_tiles", tiles.str());

@@ -37,11 +37,11 @@ int main(int argc, char** argv) {
   note("== F2: thread scaling on tags4d (R=%u) ==\n", rank);
   note("   [host has 1 physical core: >1 thread is oversubscribed]\n\n");
 
-  const std::vector<std::string> engines{"csf", "dtree-bdt", "coo"};
+  const std::vector<std::string> engines{"csf", "alto", "dtree-bdt", "coo"};
 
   // First cells are row keys for bench_diff, so the per-(threads, engine,
   // mode) tables fold those into one "config" column: "t4:csf:m2".
-  TablePrinter table({"threads", "csf", "dtree-bdt", "coo"}, 14, "F2");
+  TablePrinter table({"threads", "csf", "alto", "dtree-bdt", "coo"}, 14, "F2");
   TablePrinter sched_table({"config", "schedule", "tiles", "reason"}, 14,
                            "F2-sched");
   for (int threads : {1, 2, 4}) {

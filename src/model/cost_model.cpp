@@ -1,6 +1,7 @@
 #include "model/cost_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <string>
 
@@ -126,6 +127,17 @@ std::size_t scatter_plan_bytes(nnz_t nnz, nnz_t distinct_rows) {
          static_cast<std::size_t>(distinct_rows + 1) * sizeof(nnz_t);
 }
 
+// Total linearization bits the alto engine's packed key needs (the codec's
+// bit budget: ceil(log2(dim)) per mode). Zero-sized modes contribute
+// nothing here — the engine itself rejects them at prepare().
+index_t alto_key_bits(const CooTensor& t) {
+  index_t total = 0;
+  for (mode_t m = 0; m < t.order(); ++m)
+    if (t.dim(m) > 1)
+      total += static_cast<index_t>(std::bit_width(t.dim(m) - 1));
+  return total;
+}
+
 // One CSF trie rooted at `root`: values, per-level fiber ids, per-non-leaf
 // fptr. Level l fiber counts are the distinct counts of the mode-order
 // prefixes (nnz upper bound without a counter).
@@ -190,6 +202,23 @@ std::size_t predict_engine_footprint(const CooTensor& tensor,
          (order * sizeof(std::uint8_t) + sizeof(real_t));
     b += static_cast<std::size_t>(nnz) *
          (order * sizeof(index_t) / 4 + sizeof(nnz_t));
+  } else if (engine == "alto") {
+    // Linearized copy: one packed key per nonzero (8 B on the 64-bit fast
+    // path, 16 B when the shape's bit budget exceeds 64) plus the value
+    // stream, the mode-0 row grouping, and — transiently — one set of
+    // per-partition dense accumulator windows for the output mode, bounded
+    // by the distinct rows the mode can have.
+    b += static_cast<std::size_t>(nnz) *
+         ((alto_key_bits(tensor) <= 64 ? 8 : 16) + sizeof(real_t));
+    b += static_cast<std::size_t>(distinct(0)) *
+         (sizeof(index_t) + sizeof(nnz_t));
+    nnz_t max_rows = 0;
+    for (mode_t m = 0; m < order; ++m)
+      max_rows = std::max(max_rows, distinct(m));
+    b += static_cast<std::size_t>(max_rows) * mk::padded_rank(rank) *
+         sizeof(real_t);
+    b += static_cast<std::size_t>(threads) * mk::padded_rank(rank) *
+         sizeof(real_t);
   } else if (engine == "ttv-chain") {
     // Every worker thread owns a full working copy of the tuples: two index
     // arrays per mode (idx/idx2), two value arrays, and a sort permutation.
@@ -232,6 +261,11 @@ double predict_engine_seconds(const CooTensor& tensor,
   double flops = 0;
   if (engine == "coo" || engine == "bcoo") {
     flops = ord * n * rv * ord;
+  } else if (engine == "alto") {
+    // Same fused per-nonzero kernels as coo, plus the on-the-fly decode
+    // (one shift + mask per mode per nonzero) and the partition-window
+    // merge, charged as one extra op per mode per nonzero.
+    flops = ord * n * (rv * ord + ord);
   } else if (engine == "csf" || engine == "csf1") {
     flops = ord * n * rv * 2;  // fiber sharing amortizes the Hadamard chain
   } else if (engine == "ttv-chain") {
@@ -240,9 +274,13 @@ double predict_engine_seconds(const CooTensor& tensor,
     MDCP_CHECK_MSG(false, "predict_engine_seconds: unknown fixed engine '"
                               << engine << "'");
   }
+  // Per-nonzero index traffic: every engine streams order × 4-byte indices
+  // except alto, whose packed key is 8 bytes (16 past the 64-bit budget).
+  const double index_bytes =
+      engine == "alto" ? (alto_key_bits(tensor) <= 64 ? 8.0 : 16.0)
+                       : ord * sizeof(index_t);
   const double bytes =
-      ord * n *
-      (ord * sizeof(index_t) + sizeof(real_t) + r * sizeof(real_t));
+      ord * n * (index_bytes + sizeof(real_t) + r * sizeof(real_t));
   return params.seconds_per_flop * flops + params.seconds_per_byte * bytes;
 }
 

@@ -245,7 +245,7 @@ void AutoEngine::do_prepare(index_t rank) {
 
   if (memory_budget_bytes_ != 0) {
     ProjectionCounter counter(tensor());
-    for (const char* fallback : {"ttv-chain", "csf", "coo"}) {
+    for (const char* fallback : {"alto", "ttv-chain", "csf", "coo"}) {
       ChainEntry e;
       e.engine = fallback;
       e.label = std::string(prefix) + fallback;

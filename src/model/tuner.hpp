@@ -94,7 +94,8 @@ TunerReport select_strategy_probed(const CooTensor& tensor, index_t rank,
 ///
 /// Under a memory budget (KernelContext::mem_budget or the constructor
 /// argument) the engine also plans a degradation chain: the dtree winner,
-/// then the fixed fallbacks ttv-chain → csf → coo, each annotated with its
+/// then the fixed fallbacks alto → ttv-chain → csf → coo, each annotated
+/// with its
 /// predicted footprint. Levels the model predicts over budget are skipped up
 /// front ("predicted-over-budget"); a budget_error or bad_alloc escaping the
 /// active level at prepare or compute time advances the chain and retries

@@ -7,6 +7,7 @@
 #include "csf/csf_one_mttkrp.hpp"
 #include "dtree/dtree_engine.hpp"
 #include "model/tuner.hpp"
+#include "mttkrp/alto.hpp"
 #include "mttkrp/blocked_coo.hpp"
 #include "mttkrp/coo_mttkrp.hpp"
 #include "mttkrp/ttv_chain.hpp"
@@ -97,6 +98,10 @@ EngineRegistry::EngineRegistry() {
   register_engine("bcoo", "HiCOO-style blocked COO (128^N blocks)",
                   [](KernelContext ctx) {
                     return std::make_unique<BlockedCooEngine>(7u, ctx);
+                  });
+  register_engine("alto", "ALTO-style linearized packed-index engine",
+                  [](KernelContext ctx) {
+                    return std::make_unique<AltoMttkrpEngine>(ctx);
                   });
   register_engine("ttv-chain", "column-at-a-time TTV chain (naive baseline)",
                   [](KernelContext ctx) {

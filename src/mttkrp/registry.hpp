@@ -7,8 +7,8 @@
 // make_engine overload that does both.
 //
 // Builtin names (registration order):
-//   coo, bcoo, ttv-chain, csf, csf1, dtree-flat, dtree-3lvl, dtree-bdt,
-//   auto, auto+probe
+//   coo, bcoo, alto, ttv-chain, csf, csf1, dtree-flat, dtree-3lvl,
+//   dtree-bdt, auto, auto+probe
 #pragma once
 
 #include <functional>

@@ -1,0 +1,553 @@
+// Property tests for the ALTO linearization codec, the recursive stream
+// partitioner, and the alto MTTKRP engine (mttkrp/alto.hpp).
+//
+// The codec is the correctness keystone of the engine: if encode/decode
+// round-trips and key order equals lexicographic tuple order, the engine is
+// "COO with one integer per nonzero". The tests here pin exactly those two
+// properties over randomized shapes (orders 1–6, dims including 1 and
+// non-powers-of-two), the bit-budget boundaries (exactly 64 bits, the
+// 128-bit fallback, exactly 128 bits, over 128), and the shift-by-width
+// hazard cases (zero-width fields above a full 64-bit budget, indices
+// occupying the 64th bit). The partitioner tests check the structural
+// invariants every compute path relies on: intervals disjoint and covering,
+// per-mode ranges tight, and sparse-but-wide intervals stopping at the
+// min-nnz floor (the engine's scattered owner path, not further splitting,
+// handles their over-budget windows).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mttkrp/alto.hpp"
+#include "mttkrp/microkernel.hpp"
+#include "oracle.hpp"
+#include "tensor/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/workspace.hpp"
+
+namespace mdcp {
+namespace {
+
+using mdcp::testing::max_scaled_error;
+using mdcp::testing::random_factors;
+
+constexpr std::uint64_t kSuiteSeed = 0xa170ULL;
+
+// Dim pool stressing the field-width arithmetic: size-1 modes (zero-width
+// fields), non-powers-of-two, exact powers of two, and one-past-a-power.
+const index_t kDimPool[] = {1, 2, 3, 5, 7, 9, 16, 17, 100, 1000, 4096, 65537};
+
+shape_t random_shape(mode_t order, Rng& rng) {
+  shape_t shape(order);
+  for (auto& d : shape)
+    d = kDimPool[rng.next_below(std::size(kDimPool))];
+  return shape;
+}
+
+std::vector<index_t> random_coords(const shape_t& shape, Rng& rng) {
+  std::vector<index_t> c(shape.size());
+  for (std::size_t m = 0; m < shape.size(); ++m)
+    c[m] = rng.next_index(shape[m]);
+  return c;
+}
+
+// ---------------------------------------------------------------- codec ---
+
+TEST(AltoCodec, BitsForDim) {
+  EXPECT_EQ(AltoCodec::bits_for_dim(1), 0u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(2), 1u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(3), 2u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(4), 2u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(5), 3u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(65536), 16u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(65537), 17u);
+  EXPECT_EQ(AltoCodec::bits_for_dim(4294967295u), 32u);
+  EXPECT_THROW(AltoCodec::bits_for_dim(0), error);
+}
+
+TEST(AltoCodec, RoundTripRandomShapes) {
+  Rng shape_rng(kSuiteSeed);
+  for (mode_t order = 1; order <= 6; ++order) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const shape_t shape = random_shape(order, shape_rng);
+      const AltoCodec codec(shape);
+      SCOPED_TRACE(::testing::Message()
+                   << "order=" << static_cast<int>(order) << " rep=" << rep
+                   << " bits=" << codec.total_bits());
+      index_t total = 0;
+      for (mode_t m = 0; m < order; ++m) {
+        EXPECT_EQ(codec.mode_bits(m), AltoCodec::bits_for_dim(shape[m]));
+        total += codec.mode_bits(m);
+      }
+      EXPECT_EQ(codec.total_bits(), total);
+      EXPECT_EQ(codec.fits64(), total <= 64u);
+
+      Rng rng(splitmix64(kSuiteSeed + rep * 97 + order));
+      std::vector<index_t> decoded(order);
+      for (int i = 0; i < 50; ++i) {
+        const auto coords = random_coords(shape, rng);
+        const AltoKey128 wide = codec.encode128(coords);
+        codec.decode(wide, decoded);
+        EXPECT_EQ(decoded, coords);
+        if (codec.fits64()) {
+          // The fast path must agree with the 128-bit path on narrow shapes.
+          const std::uint64_t key = codec.encode64(coords);
+          codec.decode(key, decoded);
+          EXPECT_EQ(decoded, coords);
+          EXPECT_EQ(wide.hi, 0u);
+          EXPECT_EQ(wide.lo, key);
+        }
+      }
+      // Boundary tuples: all-zeros and all-max.
+      std::vector<index_t> zeros(order, 0), maxed(order);
+      for (mode_t m = 0; m < order; ++m) maxed[m] = shape[m] - 1;
+      const AltoKey128 zero_key = codec.encode128(zeros);
+      EXPECT_EQ(zero_key.hi, 0u);
+      EXPECT_EQ(zero_key.lo, 0u);
+      if (codec.fits64()) EXPECT_EQ(codec.encode64(zeros), 0u);
+      codec.decode(codec.encode128(maxed), decoded);
+      EXPECT_EQ(decoded, maxed);
+    }
+  }
+}
+
+TEST(AltoCodec, ExactSixtyFourBitBudgetUsesFastPath) {
+  // 4 × 16 bits = exactly 64: the fast path must hold, and the top field's
+  // maximal index must populate the 64th bit without shifting by the width.
+  const shape_t shape{65536, 65536, 65536, 65536};
+  const AltoCodec codec(shape);
+  EXPECT_EQ(codec.total_bits(), 64u);
+  EXPECT_TRUE(codec.fits64());
+  const std::vector<index_t> maxed{65535, 65535, 65535, 65535};
+  const std::uint64_t key = codec.encode64(maxed);
+  EXPECT_EQ(key, ~std::uint64_t{0});
+  std::vector<index_t> decoded(4);
+  codec.decode(key, decoded);
+  EXPECT_EQ(decoded, maxed);
+}
+
+TEST(AltoCodec, FullWidthDimsOccupySixtyFourthBit) {
+  // Two full 32-bit fields: the mode-0 index lands in bits [32, 64) — its
+  // top bit is the 64th. This is the shift-by-width UB regression case.
+  const shape_t shape{4294967295u, 4294967295u};
+  const AltoCodec codec(shape);
+  EXPECT_EQ(codec.total_bits(), 64u);
+  EXPECT_TRUE(codec.fits64());
+  const std::vector<index_t> coords{4294967294u, 123456789u};
+  const std::uint64_t key = codec.encode64(coords);
+  EXPECT_EQ(key >> 63, 1u);  // the 64th bit is in use
+  std::vector<index_t> decoded(2);
+  codec.decode(key, decoded);
+  EXPECT_EQ(decoded, coords);
+}
+
+TEST(AltoCodec, ZeroWidthFieldAboveFullBudgetDecodesToZero) {
+  // A size-1 mode stacked on top of a full 64-bit budget gives that field a
+  // shift of exactly 64 — extract must return 0 without performing the
+  // shift (the other UB regression case).
+  const shape_t shape{1, 4294967295u, 4294967295u};
+  const AltoCodec codec(shape);
+  EXPECT_EQ(codec.total_bits(), 64u);
+  EXPECT_EQ(codec.mode_bits(0), 0u);
+  EXPECT_EQ(codec.mode_shift(0), 64u);
+  const std::vector<index_t> coords{0, 4294967294u, 4294967293u};
+  const std::uint64_t key = codec.encode64(coords);
+  std::vector<index_t> decoded(3);
+  codec.decode(key, decoded);
+  EXPECT_EQ(decoded, coords);
+  EXPECT_EQ(codec.extract(key, mode_t{0}), 0u);
+}
+
+TEST(AltoCodec, WideFallbackEngagesPastSixtyFourBits) {
+  // 65 bits: one past the fast-path budget. Fields straddle the 64-bit
+  // seam, so this also exercises the two-word extract.
+  const shape_t shape{4294967295u, 4294967295u, 2};
+  const AltoCodec codec(shape);
+  EXPECT_EQ(codec.total_bits(), 65u);
+  EXPECT_FALSE(codec.fits64());
+  Rng rng(kSuiteSeed);
+  std::vector<index_t> decoded(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto coords = random_coords(shape, rng);
+    codec.decode(codec.encode128(coords), decoded);
+    EXPECT_EQ(decoded, coords);
+  }
+}
+
+TEST(AltoCodec, ExactOneHundredTwentyEightBitBudget) {
+  const shape_t shape{4294967295u, 4294967295u, 4294967295u, 4294967295u};
+  const AltoCodec codec(shape);
+  EXPECT_EQ(codec.total_bits(), 128u);
+  const std::vector<index_t> maxed(4, 4294967294u);
+  std::vector<index_t> decoded(4);
+  codec.decode(codec.encode128(maxed), decoded);
+  EXPECT_EQ(decoded, maxed);
+  Rng rng(kSuiteSeed + 1);
+  for (int i = 0; i < 200; ++i) {
+    const auto coords = random_coords(shape, rng);
+    codec.decode(codec.encode128(coords), decoded);
+    EXPECT_EQ(decoded, coords);
+  }
+}
+
+TEST(AltoCodec, RejectsZeroSizedModeAndOverwideShapes) {
+  EXPECT_THROW(AltoCodec(shape_t{4, 0, 5}), error);
+  EXPECT_THROW(AltoCodec(shape_t{0}), error);
+  // 4 × 32 + 2 = 130 bits: past the 128-bit fallback.
+  EXPECT_THROW(AltoCodec(shape_t{4294967295u, 4294967295u, 4294967295u,
+                                 4294967295u, 3}),
+               error);
+}
+
+TEST(AltoCodec, KeyOrderEqualsLexicographicTupleOrder) {
+  Rng shape_rng(kSuiteSeed + 7);
+  for (mode_t order = 1; order <= 6; ++order) {
+    const shape_t shape = random_shape(order, shape_rng);
+    const AltoCodec codec(shape);
+    Rng rng(splitmix64(kSuiteSeed + order));
+    std::vector<std::vector<index_t>> tuples;
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 200; ++i) {
+      tuples.push_back(random_coords(shape, rng));
+      keys.push_back(codec.encode64(tuples.back()));
+    }
+    for (int i = 0; i < 200; ++i)
+      for (int j = i + 1; j < 200; ++j) {
+        const bool lex = std::lexicographical_compare(
+            tuples[i].begin(), tuples[i].end(), tuples[j].begin(),
+            tuples[j].end());
+        EXPECT_EQ(keys[i] < keys[j], lex)
+            << "order=" << static_cast<int>(order) << " i=" << i
+            << " j=" << j;
+        EXPECT_EQ(keys[i] == keys[j], tuples[i] == tuples[j]);
+      }
+  }
+}
+
+TEST(AltoCodec, KeySortMatchesCooLexicographicSort) {
+  // Sorting nonzeros by their packed key must give exactly the permutation
+  // CooTensor::sorted_permutation produces for the natural mode order —
+  // including ties (duplicate coordinates), since both sorts are stable.
+  const shape_t shape{9, 8, 7};
+  CooTensor t(shape);
+  Rng rng(kSuiteSeed + 11);
+  std::vector<index_t> c(3);
+  for (int i = 0; i < 300; ++i) {
+    for (std::size_t m = 0; m < 3; ++m)
+      c[m] = rng.next_index(shape[m]) / 2 * 2 % shape[m];  // force ties
+    t.push_back(c, rng.next_real());
+  }
+  const AltoCodec codec(shape);
+  std::vector<std::uint64_t> keys(t.nnz());
+  for (nnz_t i = 0; i < t.nnz(); ++i) {
+    t.coords(i, c);
+    keys[i] = codec.encode64(c);
+  }
+  std::vector<nnz_t> by_key(t.nnz());
+  std::iota(by_key.begin(), by_key.end(), nnz_t{0});
+  std::stable_sort(by_key.begin(), by_key.end(),
+                   [&](nnz_t a, nnz_t b) { return keys[a] < keys[b]; });
+
+  std::vector<mode_t> natural{0, 1, 2};
+  EXPECT_EQ(by_key, t.sorted_permutation(natural));
+}
+
+// ---------------------------------------------------------- partitioner ---
+
+void check_partition_invariants(const AltoCodec& codec,
+                                std::span<const std::uint64_t> keys,
+                                const std::vector<AltoPartition>& parts) {
+  ASSERT_FALSE(parts.empty());
+  EXPECT_EQ(parts.front().begin, 0u);
+  EXPECT_EQ(parts.back().end, keys.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    SCOPED_TRACE(::testing::Message() << "partition " << p);
+    EXPECT_LT(parts[p].begin, parts[p].end);  // nonempty
+    if (p + 1 < parts.size())
+      EXPECT_EQ(parts[p].end, parts[p + 1].begin);  // disjoint and covering
+    ASSERT_EQ(parts[p].lo.size(), codec.order());
+    ASSERT_EQ(parts[p].hi.size(), codec.order());
+    // Tightness: lo/hi must equal the exact min/max present.
+    for (mode_t m = 0; m < codec.order(); ++m) {
+      index_t lo = codec.extract(keys[parts[p].begin], m);
+      index_t hi = lo;
+      for (nnz_t i = parts[p].begin + 1; i < parts[p].end; ++i) {
+        const index_t v = codec.extract(keys[i], m);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      EXPECT_EQ(parts[p].lo[m], lo);
+      EXPECT_EQ(parts[p].hi[m], hi);
+    }
+  }
+}
+
+std::vector<std::uint64_t> sorted_keys(const CooTensor& t,
+                                       const AltoCodec& codec) {
+  std::vector<std::uint64_t> keys(t.nnz());
+  std::vector<index_t> c(t.order());
+  for (nnz_t i = 0; i < t.nnz(); ++i) {
+    t.coords(i, c);
+    keys[i] = codec.encode64(c);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(AltoPartitioner, InvariantsOnSkewedStream) {
+  const shape_t shape{60, 50, 40};
+  const CooTensor t = generate_zipf(shape, 20000, 1.4, kSuiteSeed);
+  const AltoCodec codec(shape);
+  const auto keys = sorted_keys(t, codec);
+  // A tiny budget forces deep splitting; a small floor lets it happen.
+  const auto parts = alto_partition<std::uint64_t>(
+      codec, keys, 16, /*budget_bytes=*/4096, /*min_nnz=*/64);
+  EXPECT_GT(parts.size(), 1u);
+  check_partition_invariants(codec, keys, parts);
+}
+
+TEST(AltoPartitioner, SingleIntervalWhenBudgetIsAmple) {
+  const shape_t shape{12, 10, 8};
+  const CooTensor t = generate_uniform(shape, 500, kSuiteSeed + 1);
+  const AltoCodec codec(shape);
+  const auto keys = sorted_keys(t, codec);
+  const auto parts = alto_partition<std::uint64_t>(codec, keys, 16);
+  ASSERT_EQ(parts.size(), 1u);
+  check_partition_invariants(codec, keys, parts);
+}
+
+TEST(AltoPartitioner, EmptyStreamYieldsNoPartitions) {
+  const AltoCodec codec(shape_t{8, 8});
+  EXPECT_TRUE(
+      alto_partition<std::uint64_t>(codec, {}, 16).empty());
+}
+
+TEST(AltoPartitioner, SparseButWideIntervalsStopAtTheFloor) {
+  // A few nonzeros scattered across huge modes: splitting cannot shrink the
+  // ranges (both halves keep nearly the full span), so the partitioner must
+  // stop at the min-nnz floor instead of exploding into near-singleton
+  // partitions whose combined window area dwarfs the nonzero count. The
+  // compute path handles such over-budget partitions without dense windows
+  // (see the ScatteredOwnerPath engine tests).
+  const shape_t shape{1u << 17, 1u << 17};
+  CooTensor t(shape);
+  Rng rng(kSuiteSeed + 3);
+  std::vector<index_t> c(2);
+  for (int i = 0; i < 64; ++i) {
+    for (auto& v : c) v = rng.next_index(shape[0]);
+    t.push_back(c, rng.next_real() + 0.5);
+  }
+  t.coalesce();
+  const AltoCodec codec(shape);
+  const auto keys = sorted_keys(t, codec);
+  const auto parts = alto_partition<std::uint64_t>(codec, keys, 16);
+  check_partition_invariants(codec, keys, parts);
+  // 64 scattered nonzeros sit below the 4096-nnz floor: one partition.
+  EXPECT_EQ(parts.size(), 1u);
+}
+
+// --------------------------------------------------------------- engine ---
+
+void expect_matches_reference(const CooTensor& t, index_t rank,
+                              std::uint64_t seed) {
+  const auto factors = random_factors(t, rank, seed);
+  AltoMttkrpEngine engine(t);
+  Matrix out, ref;
+  for (mode_t m = 0; m < t.order(); ++m) {
+    SCOPED_TRACE(::testing::Message() << "mode " << static_cast<int>(m));
+    engine.compute(m, factors, out);
+    mttkrp_reference(t, factors, m, ref);
+    EXPECT_LT(max_scaled_error(ref, out), 1e-10);
+  }
+}
+
+TEST(AltoEngine, MatchesReferenceWithSizeOneModes) {
+  // Zero-width fields interleaved with populated ones, orders 1–5.
+  expect_matches_reference(mdcp::testing::small_tensor(1, 64, 48, kSuiteSeed),
+                           7, kSuiteSeed + 1);
+  expect_matches_reference(
+      generate_uniform(shape_t{3, 1, 5, 1, 4}, 40, kSuiteSeed + 2), 9,
+      kSuiteSeed + 3);
+  expect_matches_reference(generate_uniform(shape_t{1, 1, 1}, 1, kSuiteSeed),
+                           5, kSuiteSeed + 4);
+}
+
+TEST(AltoEngine, WideKeysMatchReference) {
+  // 6 × 11 bits = 66: the 128-bit fallback runs the same engine paths.
+  const shape_t shape(6, 2048);
+  const CooTensor t = generate_uniform(shape, 1500, kSuiteSeed + 5);
+  AltoMttkrpEngine engine(t);
+  EXPECT_TRUE(engine.wide_keys());
+  EXPECT_FALSE(engine.codec().fits64());
+  expect_matches_reference(t, 17, kSuiteSeed + 6);
+}
+
+TEST(AltoEngine, ExactSixtyFourBitShapeMatchesReference) {
+  // 4 × 16-bit modes: the full-budget fast path end to end, top indices
+  // populating the 64th bit.
+  const shape_t shape(4, 65536);
+  CooTensor t(shape);
+  Rng rng(kSuiteSeed + 8);
+  std::vector<index_t> c(4);
+  for (int i = 0; i < 200; ++i) {
+    // Bias toward the extremes so maximal indices actually occur.
+    for (auto& v : c)
+      v = rng.next_below(2) ? 65535 - rng.next_index(8) : rng.next_index(8);
+    t.push_back(c, rng.next_real() + 0.25);
+  }
+  t.coalesce();
+  AltoMttkrpEngine engine(t);
+  EXPECT_FALSE(engine.wide_keys());
+  EXPECT_EQ(engine.codec().total_bits(), 64u);
+  expect_matches_reference(t, 8, kSuiteSeed + 9);
+}
+
+TEST(AltoEngine, SparseWideTensorMatchesReference) {
+  // The hard-cap partitioning case, end to end through the engine.
+  const shape_t shape{1u << 17, 1u << 17};
+  CooTensor t(shape);
+  Rng rng(kSuiteSeed + 10);
+  std::vector<index_t> c(2);
+  for (int i = 0; i < 64; ++i) {
+    for (auto& v : c) v = rng.next_index(shape[0]);
+    t.push_back(c, rng.next_real() + 0.5);
+  }
+  t.coalesce();
+  expect_matches_reference(t, 4, kSuiteSeed + 11);
+}
+
+TEST(AltoEngine, RejectsZeroSizedMode) {
+  // CooTensor itself refuses zero-sized modes, so the engine can never see
+  // one through the public path; the codec guard is the backstop for any
+  // future caller that feeds it a raw shape.
+  EXPECT_THROW((CooTensor{shape_t{4, 0, 5}}), error);
+  EXPECT_THROW(AltoCodec(shape_t{4, 0, 5}), error);
+}
+
+TEST(AltoEngine, EmptyTensorYieldsZeroOutput) {
+  const CooTensor t{shape_t{6, 5, 4}};
+  const auto factors = random_factors(t, 7, kSuiteSeed);
+  AltoMttkrpEngine engine(t);
+  EXPECT_TRUE(engine.partitions().empty());
+  Matrix out;
+  for (mode_t m = 0; m < 3; ++m) {
+    engine.compute(m, factors, out);
+    for (index_t i = 0; i < out.rows(); ++i)
+      for (index_t j = 0; j < out.cols(); ++j)
+        EXPECT_EQ(out(i, j), 0.0);
+  }
+}
+
+TEST(AltoEngine, PartitionPathBitwiseAcrossThreadCounts) {
+  // The partition-window owner path must be bitwise identical across
+  // thread counts: partitions are thread-independent and the merge order is
+  // fixed. (The registry-driven determinism suite covers this too; this is
+  // the focused regression with enough nnz to build several partitions.)
+  // Dims large enough that the full accumulator window footprint
+  // ((4096+3000+5000) × padded_rank × 8 ≈ 1.5 MiB) exceeds the 1 MiB
+  // partition budget, forcing at least one recursive split.
+  const CooTensor t =
+      generate_zipf(shape_t{4096, 3000, 5000}, 30000, 1.3, kSuiteSeed + 12);
+  const auto factors = random_factors(t, 16, kSuiteSeed + 13);
+  struct ThreadRestore {
+    ~ThreadRestore() { set_num_threads(1); }
+  } restore;
+
+  KernelContext ctx;
+  ctx.sched = ScheduleMode::kOwner;
+  std::vector<Matrix> baseline;
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    ctx.threads = threads;
+    AltoMttkrpEngine engine(ctx);
+    engine.prepare(t, 16);
+    EXPECT_GT(engine.partitions().size(), 1u);
+    for (mode_t m = 0; m < t.order(); ++m) {
+      Matrix out;
+      engine.compute(m, factors, out);
+      if (threads == 1) {
+        baseline.push_back(std::move(out));
+        continue;
+      }
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " mode=" << static_cast<int>(m));
+      ASSERT_EQ(out.rows(), baseline[m].rows());
+      for (index_t i = 0; i < out.rows(); ++i)
+        for (index_t j = 0; j < out.cols(); ++j)
+          EXPECT_EQ(out(i, j), baseline[m](i, j));
+    }
+  }
+}
+
+TEST(AltoEngine, ScatteredOwnerPathMatchesReferenceAndStaysBounded) {
+  // Regression for the dense-window blowup: nonzeros scattered across huge
+  // modes leave every partition's per-mode range near the full dimension,
+  // so dense accumulator windows would claim orders of magnitude more
+  // memory (and zero/merge traffic) than the nonzero count justifies. The
+  // owner path must route such partitions through the scattered direct
+  // merge, keep the arena bounded, and still match the reference.
+  const CooTensor t = generate_zipf(shape_t{500, 20000, 80000, 30000}, 20000,
+                                    1.1, kSuiteSeed + 20);
+  const index_t rank = 16;
+  const auto factors = random_factors(t, rank, kSuiteSeed + 21);
+  KernelContext ctx;
+  ctx.sched = ScheduleMode::kOwner;
+  Workspace ws;
+  ctx.workspace = &ws;
+  AltoMttkrpEngine engine(ctx);
+  engine.prepare(t, rank);
+  Matrix out, ref;
+  for (mode_t m = 0; m < t.order(); ++m) {
+    SCOPED_TRACE(::testing::Message() << "mode " << static_cast<int>(m));
+    engine.compute(m, factors, out);
+    mttkrp_reference(t, factors, m, ref);
+    EXPECT_LT(max_scaled_error(ref, out), 1e-10);
+  }
+  // The windowed path alone would want Σ_p span_p × padded × 8 ≈ hundreds
+  // of MB here; the scattered classification must keep scratch far below
+  // the global window cap.
+  EXPECT_LT(ws.peak_bytes(), kAltoOwnerWindowCapBytes);
+}
+
+TEST(AltoEngine, ScatteredOwnerPathBitwiseAcrossThreadCounts) {
+  // The scattered direct merge assigns each output row to exactly one
+  // thread and walks partitions in ascending order, so forced owner-computes
+  // stays bitwise identical across thread counts even with no windows.
+  const CooTensor t = generate_zipf(shape_t{300, 40000, 60000}, 25000, 1.1,
+                                    kSuiteSeed + 22);
+  const auto factors = random_factors(t, 16, kSuiteSeed + 23);
+  struct ThreadRestore {
+    ~ThreadRestore() { set_num_threads(1); }
+  } restore;
+
+  KernelContext ctx;
+  ctx.sched = ScheduleMode::kOwner;
+  std::vector<Matrix> baseline;
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    ctx.threads = threads;
+    AltoMttkrpEngine engine(ctx);
+    engine.prepare(t, 16);
+    for (mode_t m = 0; m < t.order(); ++m) {
+      Matrix out;
+      engine.compute(m, factors, out);
+      if (threads == 1) {
+        baseline.push_back(std::move(out));
+        continue;
+      }
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " mode=" << static_cast<int>(m));
+      ASSERT_EQ(out.rows(), baseline[m].rows());
+      for (index_t i = 0; i < out.rows(); ++i)
+        for (index_t j = 0; j < out.cols(); ++j)
+          EXPECT_EQ(out(i, j), baseline[m](i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdcp

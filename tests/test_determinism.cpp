@@ -3,6 +3,7 @@
 // just close) for any number of threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "cpals/cpals.hpp"
@@ -21,6 +22,20 @@ class ThreadRestore {
  public:
   ~ThreadRestore() { set_num_threads(1); }
 };
+
+// The suites below enumerate EngineRegistry::names(), so an engine that
+// silently unregisters would drop out of coverage without failing anything.
+// Pin the engines whose determinism story these tests were written to lock
+// down — in particular the linearized "alto" engine, whose partition-window
+// merge order is the whole reason it can promise bitwise owner-mode results.
+TEST(Determinism, RegistryListsBitwiseCriticalEngines) {
+  const auto names = EngineRegistry::instance().names();
+  for (const char* expected : {"coo", "bcoo", "alto", "csf", "dtree-bdt"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "engine \"" << expected
+        << "\" missing from the registry-driven determinism matrix";
+  }
+}
 
 TEST(Determinism, MttkrpBitwiseAcrossThreadCounts) {
   ThreadRestore restore;

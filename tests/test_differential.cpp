@@ -8,6 +8,7 @@
 // via SCOPED_TRACE, so a failure names the exact configuration to replay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,37 @@ void run_order(mode_t order, const shape_t& shape, nnz_t nnz) {
         }
       }
     }
+  }
+}
+
+// Registry-completeness guard: the matrix above enumerates
+// EngineRegistry::names() dynamically, so the only way a registered engine
+// can escape coverage is an engine_supports() skip. Pin the skip list to the
+// known contraction-based family, require every other engine to run at every
+// order, and require the engines the suite was written against (including
+// the linearized "alto" engine) to actually be registered — if one is
+// renamed or dropped, this fails instead of silently shrinking the matrix.
+TEST(Differential, MatrixCoversEveryRegisteredEngine) {
+  const auto names = EngineRegistry::instance().names();
+  for (const char* expected :
+       {"coo", "bcoo", "alto", "ttv-chain", "csf", "csf1", "dtree-flat",
+        "dtree-3lvl", "dtree-bdt", "auto", "auto+probe"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "engine \"" << expected << "\" missing from the registry";
+  }
+  const CooTensor probe = generate_uniform(shape_t{6, 5, 4}, 40, kSuiteSeed);
+  for (const auto& name : names) {
+    SCOPED_TRACE(::testing::Message() << "engine=" << name);
+    for (mode_t order = 2; order <= 6; ++order)
+      EXPECT_TRUE(engine_supports(name, order));
+    if (!engine_supports(name, 1)) {
+      EXPECT_TRUE(name.rfind("dtree", 0) == 0 || name.rfind("auto", 0) == 0)
+          << "only contraction-based engines may skip order 1";
+    }
+    // Every registered factory must produce a working engine for the matrix.
+    const auto engine = make_engine(name, probe, 4, {});
+    ASSERT_NE(engine, nullptr);
+    EXPECT_FALSE(engine->name().empty());
   }
 }
 

@@ -17,6 +17,7 @@
 #include "cpals/cpals.hpp"
 #include "model/cost_model.hpp"
 #include "model/tuner.hpp"
+#include "mttkrp/registry.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/tensor_io.hpp"
 #include "util/error.hpp"
@@ -228,6 +229,60 @@ TEST(DegradationChain, PicksFirstLevelTheModelSaysFits) {
       EXPECT_EQ(engine.chain_position(), chain.size() - 1)
           << "arena tripped but the chain was not exhausted";
     }
+  }
+}
+
+// The planned fallback order is part of the robustness contract: the
+// linearized engine sits directly behind the dtree winner, ahead of the
+// contraction and trie fallbacks, and the terminal last resort stays "coo".
+TEST(DegradationChain, PlannedFallbacksFollowDocumentedOrder) {
+  const CooTensor t = degradation_tensor();
+  const index_t rank = 8;
+
+  AutoEngine probe;
+  probe.prepare(t, rank);
+  const std::size_t dtree_floor = min_dtree_footprint(probe.report());
+  ASSERT_GT(dtree_floor, 1u);
+
+  KernelContext ctx;
+  ctx.mem_budget = dtree_floor - 1;
+  AutoEngine engine(false, 0, CostModelParams{}, 3, ctx);
+  engine.prepare(t, rank);
+  const auto& chain = engine.chain();
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_TRUE(chain[0].engine.empty());  // the dtree winner
+  EXPECT_EQ(chain[1].engine, "alto");
+  EXPECT_EQ(chain[2].engine, "ttv-chain");
+  EXPECT_EQ(chain[3].engine, "csf");
+  EXPECT_EQ(chain[4].engine, "coo");
+
+  // On this tensor the budget that evicts the dtree winner still admits the
+  // alto level, so the chain must stop there — and the degraded engine's
+  // MTTKRP must agree with an unbudgeted reference engine.
+  ASSERT_TRUE(chain[1].fits_budget)
+      << "degradation tensor too large for the alto level; retune the test";
+  EXPECT_EQ(engine.chain_position(), 1u);
+
+  Rng rng(5);
+  std::vector<Matrix> factors;
+  for (mode_t m = 0; m < t.order(); ++m)
+    factors.push_back(Matrix::random_uniform(t.dim(m), rank, rng));
+  const auto reference = make_engine("coo", t, rank);
+  for (mode_t m = 0; m < t.order(); ++m) {
+    Matrix out, ref;
+    engine.compute(m, factors, out);
+    reference->compute(m, factors, ref);
+    ASSERT_EQ(out.rows(), ref.rows());
+    ASSERT_EQ(out.cols(), ref.cols());
+    double scale = 1.0, err = 0.0;
+    for (index_t i = 0; i < out.rows(); ++i) {
+      for (index_t k = 0; k < out.cols(); ++k) {
+        scale = std::max(scale, std::abs(static_cast<double>(ref(i, k))));
+        err = std::max(err, std::abs(static_cast<double>(out(i, k)) -
+                                     static_cast<double>(ref(i, k))));
+      }
+    }
+    EXPECT_LT(err / scale, 1e-10) << "mode " << static_cast<int>(m);
   }
 }
 

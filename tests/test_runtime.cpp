@@ -21,8 +21,9 @@ using mdcp::testing::random_factors;
 
 TEST(Registry, BuiltinNamesInCanonicalOrder) {
   const std::vector<std::string> expect{
-      "coo",        "bcoo",       "ttv-chain", "csf",  "csf1",
-      "dtree-flat", "dtree-3lvl", "dtree-bdt", "auto", "auto+probe"};
+      "coo",        "bcoo",       "alto",       "ttv-chain", "csf",
+      "csf1",       "dtree-flat", "dtree-3lvl", "dtree-bdt", "auto",
+      "auto+probe"};
   EXPECT_EQ(EngineRegistry::instance().names(), expect);
   for (const auto& name : expect)
     EXPECT_TRUE(EngineRegistry::instance().contains(name)) << name;
